@@ -1,0 +1,45 @@
+//! One Criterion bench per table/figure: each runs the corresponding
+//! regeneration function on a scaled-down workload (the paper's 15-minute
+//! traces shrunk to a few seconds) so `cargo bench` exercises every
+//! experiment end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slsb_bench::experiments::{run_experiment, ReproConfig};
+use slsb_core::ExperimentId;
+use std::time::Duration;
+
+/// Per-experiment bench scale: the heavyweight matrices get tiny traces,
+/// lighter experiments can afford more.
+fn scale_for(id: ExperimentId) -> f64 {
+    match id {
+        // 72 runs per invocation.
+        ExperimentId::Fig5 | ExperimentId::Table1 => 0.01,
+        // Dozens of runs per invocation.
+        ExperimentId::Fig12
+        | ExperimentId::Fig13
+        | ExperimentId::Fig15
+        | ExperimentId::Fig16
+        | ExperimentId::Fig17
+        | ExperimentId::ExtExplorer => 0.01,
+        // A handful of runs per invocation.
+        _ => 0.03,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    for id in ExperimentId::ALL {
+        let cfg = ReproConfig::scaled(scale_for(id));
+        group.bench_function(id.slug(), |b| {
+            b.iter(|| run_experiment(std::hint::black_box(id), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the simulation substrate itself: event-queue
+//! throughput, MMPP generation, and a single end-to-end serverless run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slsb_core::{Deployment, Executor};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_sim::event::{Engine, EventQueue, System};
+use slsb_sim::{Seed, SimTime};
+use slsb_workload::MmppPreset;
+use std::time::Duration;
+
+struct Sink;
+impl System for Sink {
+    type Ev = u64;
+    fn handle(&mut self, _q: &mut EventQueue<u64>, _at: SimTime, _ev: u64) {}
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event-queue");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("schedule+drain-100k", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Sink);
+            for i in 0..N {
+                // Pseudo-shuffled timestamps exercise heap reordering.
+                eng.queue.schedule_at(
+                    SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000_000),
+                    i,
+                );
+            }
+            eng.run_to_completion()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmpp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/mmpp");
+    group.bench_function("generate-w200", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            MmppPreset::W200.generate(Seed(seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/end-to-end");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    let trace = MmppPreset::W40.generate(Seed(1));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("serverless-mobilenet-w40", |b| {
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Tf115,
+        );
+        let exec = Executor::default();
+        b.iter(|| exec.run(&dep, &trace, Seed(1)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_mmpp, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro list                 # show all experiment ids
+//! repro fig5                 # regenerate one artifact (full scale)
+//! repro all --scale 0.1      # everything, at 10% workload duration
+//! repro table1 --seed 7 --out results/
+//! ```
+//!
+//! Markdown goes to stdout; each table is also written as CSV under the
+//! output directory (default `results/`).
+
+use slsb_bench::experiments::{run_experiment, ReproConfig};
+use slsb_core::{ExperimentId, Scenario};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    targets: Vec<ExperimentId>,
+    scenarios: Vec<PathBuf>,
+    cfg: ReproConfig,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    let ids: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.slug()).collect();
+    format!(
+        "usage: repro <experiment|all|list> [--scale F] [--seed N] [--out DIR]\n\
+                repro run-scenario <file.json> [...]\n\
+         experiments: {}",
+        ids.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut targets = Vec::new();
+    let mut scenarios = Vec::new();
+    let mut cfg = ReproConfig::default();
+    let mut out = Some(PathBuf::from("results"));
+    let mut listed = false;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "list" => listed = true,
+            "run-scenario" => {
+                let v = args.next().ok_or("run-scenario needs a file path")?;
+                scenarios.push(PathBuf::from(v));
+            }
+            "all" => targets = ExperimentId::ALL.to_vec(),
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                cfg.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if cfg.scale <= 0.0 || !cfg.scale.is_finite() {
+                    return Err(format!("scale must be positive, got {v}"));
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--no-out" => out = None,
+            slug => {
+                let id = ExperimentId::from_slug(slug)
+                    .ok_or_else(|| format!("unknown experiment {slug:?}\n{}", usage()))?;
+                targets.push(id);
+            }
+        }
+    }
+    if listed {
+        for e in ExperimentId::ALL {
+            println!("{:<14} {}", e.slug(), e.title());
+        }
+        std::process::exit(0);
+    }
+    if targets.is_empty() && scenarios.is_empty() {
+        return Err(usage());
+    }
+    Ok(Args {
+        targets,
+        scenarios,
+        cfg,
+        out,
+    })
+}
+
+fn run_scenario_file(path: &PathBuf) -> Result<(), String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
+    let (_run, a) = scenario.run().map_err(|e| e.to_string())?;
+    println!("# Scenario: {}\n", scenario.name);
+    println!("deployment    : {}", scenario.deployment.label());
+    println!("requests      : {}", a.total);
+    println!("success ratio : {:.2}%", a.success_ratio * 100.0);
+    match a.latency {
+        Some(l) => println!(
+            "latency       : mean {:.3}s, p50 {:.3}s, p99 {:.3}s",
+            l.mean, l.p50, l.p99
+        ),
+        None => println!("latency       : (no successful requests)"),
+    }
+    println!("cost          : {}", a.cost.total());
+    println!(
+        "cold starts   : {} instances, peak {} concurrent\n",
+        a.cold_started, a.peak_instances
+    );
+    // Latency timeline as a terminal chart.
+    let series: Vec<(f64, Option<f64>)> = a.series.iter().map(|p| (p.at, p.mean_latency)).collect();
+    println!(
+        "{}",
+        slsb_core::ascii_chart("mean latency per 10s bucket (s)", &series, 8)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for path in &args.scenarios {
+        if let Err(e) = run_scenario_file(path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.targets.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "# slsbench repro — seed {}, scale {}\n",
+        args.cfg.seed, args.cfg.scale
+    );
+    for id in &args.targets {
+        let started = std::time::Instant::now();
+        let out = run_experiment(*id, &args.cfg);
+        println!("{}", out.to_markdown());
+        eprintln!(
+            "[{}] done in {:.1}s",
+            id.slug(),
+            started.elapsed().as_secs_f64()
+        );
+
+        if let Some(dir) = &args.out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (i, table) in out.tables.iter().enumerate() {
+                let path = dir.join(format!("{}_{i}.csv", id.slug()));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,366 @@
+//! `slsb` — the user-facing CLI for the serving-benchmark framework.
+//!
+//! ```text
+//! slsb compare   --model mobilenet --workload w120 [--seed N] [--scale F]
+//! slsb explore   --model vgg --workload w120 [--slo 0.5]
+//! slsb replicate --model mobilenet --platform aws-serverless --workload w40 --reps 5
+//! slsb run       scenarios/flash_crowd_serverless.json
+//! ```
+//!
+//! `compare` races all eight systems on one model × workload; `explore`
+//! sweeps the serverless design space and prints the Pareto front;
+//! `replicate` reruns one deployment across N seeds and reports mean ± std;
+//! `run` replays a declarative JSON scenario.
+
+use slsb_core::{
+    analyze, ascii_chart, explore, fmt_money, fmt_opt_secs, fmt_pct, replicate, Deployment,
+    Executor, ExplorerGrid, Scenario, Table, WorkloadSpec,
+};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_sim::Seed;
+use slsb_workload::MmppPreset;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
+  slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F]
+  slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F]
+  slsb run       <scenario.json>
+
+platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
+
+#[derive(Debug)]
+struct Options {
+    model: ModelKind,
+    runtime: RuntimeKind,
+    workload: MmppPreset,
+    platform: Option<PlatformKind>,
+    seed: u64,
+    scale: f64,
+    slo: f64,
+    reps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            model: ModelKind::MobileNet,
+            runtime: RuntimeKind::Tf115,
+            workload: MmppPreset::W120,
+            platform: None,
+            seed: 152,
+            scale: 1.0,
+            slo: 0.5,
+            reps: 5,
+        }
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "mobilenet" | "mn" => Ok(ModelKind::MobileNet),
+        "albert" | "al" => Ok(ModelKind::Albert),
+        "vgg" => Ok(ModelKind::Vgg),
+        other => Err(format!("unknown model {other:?}")),
+    }
+}
+
+fn parse_runtime(s: &str) -> Result<RuntimeKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tf" | "tf1.15" | "tensorflow" => Ok(RuntimeKind::Tf115),
+        "ort" | "ort1.4" | "onnxruntime" => Ok(RuntimeKind::Ort14),
+        other => Err(format!("unknown runtime {other:?}")),
+    }
+}
+
+fn parse_workload(s: &str) -> Result<MmppPreset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "w40" | "workload-40" | "40" => Ok(MmppPreset::W40),
+        "w120" | "workload-120" | "120" => Ok(MmppPreset::W120),
+        "w200" | "workload-200" | "200" => Ok(MmppPreset::W200),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn parse_platform(s: &str) -> Result<PlatformKind, String> {
+    let norm = s.to_ascii_lowercase().replace(['_', '.'], "-");
+    PlatformKind::ALL
+        .into_iter()
+        .find(|p| p.label().to_ascii_lowercase() == norm)
+        .ok_or_else(|| format!("unknown platform {s:?}"))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => o.model = parse_model(&value("--model")?)?,
+            "--runtime" => o.runtime = parse_runtime(&value("--runtime")?)?,
+            "--workload" => o.workload = parse_workload(&value("--workload")?)?,
+            "--platform" => o.platform = Some(parse_platform(&value("--platform")?)?),
+            "--seed" => {
+                let v = value("--seed")?;
+                o.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                o.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if o.scale <= 0.0 || !o.scale.is_finite() {
+                    return Err(format!("scale must be positive, got {v}"));
+                }
+            }
+            "--slo" => {
+                let v = value("--slo")?;
+                o.slo = v.parse().map_err(|_| format!("bad slo {v:?}"))?;
+            }
+            "--reps" => {
+                let v = value("--reps")?;
+                o.reps = v.parse().map_err(|_| format!("bad reps {v:?}"))?;
+                if o.reps == 0 {
+                    return Err("reps must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn workload_spec(o: &Options) -> WorkloadSpec {
+    WorkloadSpec::Preset {
+        which: o.workload,
+        scale: o.scale,
+    }
+}
+
+fn cmd_compare(o: &Options) -> Result<(), String> {
+    let seed = Seed(o.seed);
+    let trace = workload_spec(o).generate(seed.substream("cli-workload"));
+    println!(
+        "Comparing all systems on {} x {} ({} requests, runtime {})\n",
+        o.model,
+        trace.name(),
+        trace.len(),
+        o.runtime
+    );
+    let mut table = Table::new(
+        "Systems comparison",
+        &["System", "Mean latency", "p99", "SR", "Cost"],
+    );
+    let exec = Executor::default();
+    for platform in PlatformKind::ALL {
+        // ManagedML only supports TF; skip invalid combinations silently
+        // with a note instead of failing the whole comparison.
+        let dep = Deployment::new(platform, o.model, o.runtime);
+        match exec.run(&dep, &trace, seed) {
+            Ok(run) => {
+                let a = analyze(&run);
+                table.push_row(vec![
+                    platform.label().to_string(),
+                    fmt_opt_secs(a.mean_latency()),
+                    fmt_opt_secs(a.latency.map(|l| l.p99)),
+                    fmt_pct(a.success_ratio),
+                    fmt_money(a.cost.total()),
+                ]);
+            }
+            Err(e) => {
+                table.push_row(vec![
+                    platform.label().to_string(),
+                    format!("({e})"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn cmd_explore(o: &Options) -> Result<(), String> {
+    let seed = Seed(o.seed);
+    let trace = workload_spec(o).generate(seed.substream("cli-workload"));
+    let base = Deployment::new(PlatformKind::AwsServerless, o.model, RuntimeKind::Tf115);
+    let exploration = explore(
+        &Executor::default(),
+        base,
+        &ExplorerGrid::default(),
+        &trace,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "Explored {} serverless configurations for {} x {}\n",
+        exploration.candidates.len(),
+        o.model,
+        trace.name()
+    );
+    println!("Pareto front (latency vs cost, SR >= 99%):");
+    for c in exploration.pareto_front(0.99) {
+        println!(
+            "  {:>6.0}MB {} batch={:<2} -> mean {:.3}s, p95 {:.3}s, ${:.3}",
+            c.deployment.memory_mb,
+            c.deployment.runtime,
+            c.deployment.batch_size,
+            c.mean_latency,
+            c.p95_latency,
+            c.cost
+        );
+    }
+    match exploration.cheapest_under_slo(o.slo, 0.99) {
+        Some(c) => println!(
+            "\ncheapest with p95 <= {}s: {:.0}MB {} batch={} at ${:.3}",
+            o.slo, c.deployment.memory_mb, c.deployment.runtime, c.deployment.batch_size, c.cost
+        ),
+        None => println!("\nno configuration meets p95 <= {}s", o.slo),
+    }
+    Ok(())
+}
+
+fn cmd_replicate(o: &Options) -> Result<(), String> {
+    let platform = o.platform.ok_or("replicate needs --platform (see usage)")?;
+    let dep = Deployment::new(platform, o.model, o.runtime);
+    let r = replicate(&Executor::default(), &dep, workload_spec(o), o.seed, o.reps)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} x {} x {} across {} seeds (base {}):\n",
+        platform.label(),
+        o.model,
+        o.workload.spec().name,
+        r.replicas,
+        o.seed
+    );
+    if let Some(m) = r.mean_latency {
+        println!("mean latency : {} s", m.display(3));
+    }
+    if let Some(m) = r.p99_latency {
+        println!("p99 latency  : {} s", m.display(3));
+    }
+    println!("success ratio: {}", r.success_ratio.display(4));
+    println!("cost         : ${}", r.cost.display(3));
+    println!("cold starts  : {}", r.cold_started.display(1));
+    Ok(())
+}
+
+fn cmd_run(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
+    let (run, a) = scenario.run().map_err(|e| e.to_string())?;
+    println!("# {}\n", scenario.name);
+    println!("deployment    : {}", scenario.deployment.label());
+    println!("requests      : {}", a.total);
+    println!("success ratio : {}", fmt_pct(a.success_ratio));
+    println!("mean latency  : {}", fmt_opt_secs(a.mean_latency()));
+    println!("cost          : {}", fmt_money(a.cost.total()));
+    let series: Vec<(f64, Option<f64>)> = a.series.iter().map(|p| (p.at, p.mean_latency)).collect();
+    println!(
+        "\n{}",
+        ascii_chart("mean latency per 10s bucket (s)", &series, 8)
+    );
+    let _ = run;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "compare" => parse_options(rest).and_then(|o| cmd_compare(&o)),
+        "explore" => parse_options(rest).and_then(|o| cmd_explore(&o)),
+        "replicate" => parse_options(rest).and_then(|o| cmd_replicate(&o)),
+        "run" => match rest {
+            [path] => cmd_run(path),
+            _ => Err("run needs exactly one scenario file".into()),
+        },
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse_options(&strs(&[
+            "--model",
+            "vgg",
+            "--runtime",
+            "ort",
+            "--workload",
+            "w200",
+            "--platform",
+            "gcp-serverless",
+            "--seed",
+            "9",
+            "--scale",
+            "0.25",
+            "--slo",
+            "0.2",
+            "--reps",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.model, ModelKind::Vgg);
+        assert_eq!(o.runtime, RuntimeKind::Ort14);
+        assert_eq!(o.workload, MmppPreset::W200);
+        assert_eq!(o.platform, Some(PlatformKind::GcpServerless));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.slo, 0.2);
+        assert_eq!(o.reps, 3);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_options(&strs(&["--model", "resnet"])).is_err());
+        assert!(parse_options(&strs(&["--workload", "w999"])).is_err());
+        assert!(parse_options(&strs(&["--scale", "-1"])).is_err());
+        assert!(parse_options(&strs(&["--reps", "0"])).is_err());
+        assert!(parse_options(&strs(&["--bogus"])).is_err());
+        assert!(parse_options(&strs(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn platform_names_match_labels() {
+        for p in PlatformKind::ALL {
+            let lower = p.label().to_ascii_lowercase();
+            assert_eq!(parse_platform(&lower).unwrap(), p);
+        }
+        assert!(parse_platform("azure-functions").is_err());
+    }
+
+    #[test]
+    fn model_aliases() {
+        assert_eq!(parse_model("MN").unwrap(), ModelKind::MobileNet);
+        assert_eq!(parse_model("AlBeRt").unwrap(), ModelKind::Albert);
+        assert_eq!(parse_runtime("TensorFlow").unwrap(), RuntimeKind::Tf115);
+    }
+}

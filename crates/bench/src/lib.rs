@@ -1,0 +1,9 @@
+//! # slsb-bench — the reproduction harness
+//!
+//! One regeneration function per table and figure of the paper (plus the
+//! extension studies), shared by the `repro` binary and the Criterion
+//! benches. See [`experiments`] for the index.
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentOutput, ReproConfig};

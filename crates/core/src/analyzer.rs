@@ -1,0 +1,429 @@
+//! The analyzer (paper Figure 3): turns raw run records into the paper's
+//! three metrics — response latency, request success ratio, and cost —
+//! plus the time series and cold-start breakdowns its figures plot.
+
+use crate::executor::{RequestRecord, RunResult};
+use serde::{Deserialize, Serialize};
+use slsb_platform::{CostBreakdown, FailureReason, Outcome};
+use slsb_sim::{SampleSet, SimDuration, TimeSeries};
+
+/// Aggregate latency statistics over successful requests (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of successful requests.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Mean cold-start sub-stage durations (seconds) — the paper's Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ColdStartStats {
+    /// Successful requests that rode a cold start.
+    pub cold_requests: u64,
+    /// Mean end-to-end latency of cold requests.
+    pub e2e_cold: Option<f64>,
+    /// Mean end-to-end latency of warm requests.
+    pub e2e_warm: Option<f64>,
+    /// Mean sandbox boot time.
+    pub boot: Option<f64>,
+    /// Mean dependency-import time.
+    pub import: Option<f64>,
+    /// Mean model-download time.
+    pub download: Option<f64>,
+    /// Mean model-load time.
+    pub load: Option<f64>,
+    /// Mean predict time on cold requests (includes lazy init).
+    pub predict_cold: Option<f64>,
+    /// Mean predict time on warm requests.
+    pub predict_warm: Option<f64>,
+}
+
+/// One bucket of the latency / success-ratio timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bucket start, seconds into the workload.
+    pub at: f64,
+    /// Mean latency of successful requests arriving in the bucket.
+    pub mean_latency: Option<f64>,
+    /// Success ratio of requests arriving in the bucket.
+    pub success_ratio: Option<f64>,
+    /// Requests arriving in the bucket.
+    pub requests: u64,
+}
+
+/// The analyzer's digest of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Deployment label (e.g. `"AWS-Serverless/MobileNet/TF1.15"`).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total logical requests.
+    pub total: u64,
+    /// Successful requests.
+    pub succeeded: u64,
+    /// Failures rejected for a full platform backlog.
+    pub failed_queue_full: u64,
+    /// Failures from the client timeout.
+    pub failed_timeout: u64,
+    /// Other platform rejections.
+    pub failed_rejected: u64,
+    /// The paper's success ratio (SR).
+    pub success_ratio: f64,
+    /// Latency aggregates over successes (absent when nothing succeeded).
+    pub latency: Option<LatencyStats>,
+    /// Latency / SR timeline in `bucket`-wide windows.
+    pub series: Vec<SeriesPoint>,
+    /// Cold-start breakdown (serverless runs).
+    pub cold: ColdStartStats,
+    /// Run cost.
+    pub cost: CostBreakdown,
+    /// Instances that went through the cold-start pipeline.
+    pub cold_started: u64,
+    /// Billed invocations (serverless).
+    pub invocations: u64,
+    /// Peak concurrent instances.
+    pub peak_instances: i64,
+    /// Fraction of instance lifetime spent doing useful work (`None` when
+    /// no instance time was recorded).
+    pub utilization: Option<f64>,
+    /// Instance count over time: `(seconds, max instances in bucket)`.
+    pub instance_series: Vec<(f64, i64)>,
+}
+
+/// Default timeline bucket width (the paper's timeline figures use a
+/// seconds-scale x-axis over a 15-minute run).
+pub const DEFAULT_BUCKET: SimDuration = SimDuration::from_secs(10);
+
+/// Analyzes a run with the default 10 s timeline bucket.
+pub fn analyze(run: &RunResult) -> Analysis {
+    analyze_with_bucket(run, DEFAULT_BUCKET)
+}
+
+/// Analyzes a run with an explicit timeline bucket width.
+///
+/// # Panics
+/// Panics if a record claims success without a latency — the executor
+/// guarantees resolution, and analyzing a half-resolved log would silently
+/// understate failures.
+pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
+    let mut latencies = SampleSet::new();
+    let mut lat_series = TimeSeries::new(bucket);
+    let mut ok_series = TimeSeries::new(bucket);
+    let mut failed_queue_full = 0;
+    let mut failed_timeout = 0;
+    let mut failed_rejected = 0;
+
+    let mut cold_e2e = SampleSet::new();
+    let mut warm_e2e = SampleSet::new();
+    let mut boot = SampleSet::new();
+    let mut import = SampleSet::new();
+    let mut download = SampleSet::new();
+    let mut load = SampleSet::new();
+    let mut predict_cold = SampleSet::new();
+    let mut predict_warm = SampleSet::new();
+
+    for r in &run.records {
+        match r.outcome {
+            Outcome::Success => {
+                let lat = r
+                    .latency
+                    .expect("success without latency: unresolved record")
+                    .as_secs_f64();
+                latencies.push(lat);
+                lat_series.add(r.arrival, lat);
+                ok_series.add(r.arrival, 1.0);
+                record_breakdown(
+                    r,
+                    lat,
+                    &mut cold_e2e,
+                    &mut warm_e2e,
+                    &mut boot,
+                    &mut import,
+                    &mut download,
+                    &mut load,
+                    &mut predict_cold,
+                    &mut predict_warm,
+                );
+            }
+            Outcome::Failure(reason) => {
+                ok_series.add(r.arrival, 0.0);
+                match reason {
+                    FailureReason::QueueFull => failed_queue_full += 1,
+                    FailureReason::ClientTimeout => failed_timeout += 1,
+                    FailureReason::Rejected => failed_rejected += 1,
+                }
+            }
+        }
+    }
+
+    let total = run.records.len() as u64;
+    let succeeded = latencies.len() as u64;
+    let latency = (succeeded > 0).then(|| LatencyStats {
+        count: succeeded,
+        mean: latencies.mean().expect("non-empty"),
+        std_dev: latencies.std_dev().expect("non-empty"),
+        p50: latencies.percentile(50.0).expect("non-empty"),
+        p95: latencies.percentile(95.0).expect("non-empty"),
+        p99: latencies.percentile(99.0).expect("non-empty"),
+        max: latencies.percentile(100.0).expect("non-empty"),
+    });
+
+    // Iterate over the SR series: it covers every record, while the latency
+    // series only has buckets up to the last *successful* request (zipping
+    // the two would silently drop trailing all-failure buckets).
+    let lat_buckets: Vec<_> = lat_series.iter().map(|(_, acc)| *acc).collect();
+    let series = ok_series
+        .iter()
+        .enumerate()
+        .map(|(i, (at, ok_acc))| SeriesPoint {
+            at: at.as_secs_f64(),
+            mean_latency: lat_buckets.get(i).and_then(|acc| acc.mean()),
+            success_ratio: ok_acc.mean(),
+            requests: ok_acc.count(),
+        })
+        .collect();
+
+    let instance_series = run
+        .platform
+        .instances
+        .bucket_maxima(bucket)
+        .into_iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect();
+
+    Analysis {
+        label: run.deployment.label(),
+        workload: run.workload.clone(),
+        total,
+        succeeded,
+        failed_queue_full,
+        failed_timeout,
+        failed_rejected,
+        success_ratio: if total == 0 {
+            1.0
+        } else {
+            succeeded as f64 / total as f64
+        },
+        latency,
+        series,
+        cold: ColdStartStats {
+            cold_requests: cold_e2e.len() as u64,
+            e2e_cold: cold_e2e.mean(),
+            e2e_warm: warm_e2e.mean(),
+            boot: boot.mean(),
+            import: import.mean(),
+            download: download.mean(),
+            load: load.mean(),
+            predict_cold: predict_cold.mean(),
+            predict_warm: predict_warm.mean(),
+        },
+        cost: run.platform.cost,
+        cold_started: run.platform.cold_started,
+        invocations: run.platform.invocations,
+        peak_instances: run.platform.instances.peak(),
+        utilization: run.platform.utilization(),
+        instance_series,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_breakdown(
+    r: &RequestRecord,
+    lat: f64,
+    cold_e2e: &mut SampleSet,
+    warm_e2e: &mut SampleSet,
+    boot: &mut SampleSet,
+    import: &mut SampleSet,
+    download: &mut SampleSet,
+    load: &mut SampleSet,
+    predict_cold: &mut SampleSet,
+    predict_warm: &mut SampleSet,
+) {
+    match r.cold_start {
+        Some(bd) => {
+            cold_e2e.push(lat);
+            boot.push_duration(bd.boot);
+            import.push_duration(bd.import);
+            download.push_duration(bd.download);
+            load.push_duration(bd.load);
+            predict_cold.push_duration(r.predict);
+        }
+        None => {
+            warm_e2e.push(lat);
+            predict_warm.push_duration(r.predict);
+        }
+    }
+}
+
+impl Analysis {
+    /// Mean latency in seconds (`NaN`-free: `None` when nothing succeeded).
+    pub fn mean_latency(&self) -> Option<f64> {
+        self.latency.map(|l| l.mean)
+    }
+
+    /// Dollar cost of the run.
+    pub fn cost_dollars(&self) -> f64 {
+        self.cost.total().as_dollars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, ExecutorConfig};
+    use crate::plan::Deployment;
+    use slsb_model::{ModelKind, RuntimeKind};
+    use slsb_platform::PlatformKind;
+    use slsb_sim::Seed;
+    use slsb_workload::MmppSpec;
+
+    fn run_small(platform: PlatformKind, rate: f64) -> RunResult {
+        let trace = MmppSpec {
+            name: "analyzer-test",
+            rate_high: rate,
+            rate_low: rate / 4.0,
+            mean_high_dwell: SimDuration::from_secs(20),
+            mean_low_dwell: SimDuration::from_secs(40),
+            duration: SimDuration::from_secs(150),
+        }
+        .generate(Seed(5));
+        Executor::new(ExecutorConfig::default())
+            .run(
+                &Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115),
+                &trace,
+                Seed(5),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let run = run_small(PlatformKind::AwsCpu, 80.0);
+        let a = analyze(&run);
+        assert_eq!(
+            a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
+            a.total
+        );
+        assert!((a.success_ratio - a.succeeded as f64 / a.total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stats_ordered() {
+        let run = run_small(PlatformKind::AwsServerless, 20.0);
+        let a = analyze(&run);
+        let l = a.latency.expect("successes exist");
+        assert!(l.p50 <= l.p95 && l.p95 <= l.p99 && l.p99 <= l.max);
+        assert!(l.mean > 0.0 && l.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn serverless_run_reports_cold_breakdown() {
+        let run = run_small(PlatformKind::AwsServerless, 20.0);
+        let a = analyze(&run);
+        assert!(a.cold.cold_requests > 0);
+        assert!(a.cold.e2e_cold.unwrap() > a.cold.e2e_warm.unwrap());
+        assert!(a.cold.import.unwrap() > 1.0, "TF import dominates");
+        assert!(a.cold.predict_cold.unwrap() > a.cold.predict_warm.unwrap());
+        assert!(a.cold_started > 0);
+        assert!(a.invocations > 0);
+    }
+
+    #[test]
+    fn series_covers_run_and_counts_match() {
+        let run = run_small(PlatformKind::AwsServerless, 20.0);
+        let a = analyze(&run);
+        assert!(!a.series.is_empty());
+        let series_total: u64 = a.series.iter().map(|p| p.requests).sum();
+        assert_eq!(series_total, a.total);
+        for p in &a.series {
+            if let Some(sr) = p.success_ratio {
+                assert!((0.0..=1.0).contains(&sr));
+            }
+        }
+    }
+
+    #[test]
+    fn vm_run_has_no_cold_starts_but_costs_rental() {
+        let run = run_small(PlatformKind::AwsGpu, 30.0);
+        let a = analyze(&run);
+        assert_eq!(a.cold.cold_requests, 0);
+        assert_eq!(a.cold_started, 0);
+        assert!(a.cost_dollars() > 0.0);
+        assert_eq!(a.peak_instances, 1);
+        // A lightly loaded GPU box is mostly idle.
+        let util = a.utilization.expect("instance time recorded");
+        assert!(util > 0.0 && util < 0.6, "utilization {util}");
+    }
+
+    #[test]
+    fn serverless_utilization_reported() {
+        let run = run_small(PlatformKind::AwsServerless, 20.0);
+        let a = analyze(&run);
+        let util = a.utilization.expect("instance time recorded");
+        assert!((0.0..=1.0).contains(&util));
+    }
+
+    #[test]
+    fn all_failure_tail_buckets_stay_in_the_series() {
+        // Regression: a run whose trailing buckets contain only failures
+        // must still report those buckets (the latency series is shorter
+        // than the SR series there).
+        use slsb_platform::{CloudProvider, Platform, VmServerConfig};
+        let trace = MmppSpec {
+            name: "tail-failures",
+            rate_high: 50.0,
+            rate_low: 50.0,
+            mean_high_dwell: SimDuration::from_secs(30),
+            mean_low_dwell: SimDuration::from_secs(30),
+            duration: SimDuration::from_secs(120),
+        }
+        .generate(Seed(3));
+        // A one-slot queue rejects essentially everything after the first
+        // request, so late buckets are failure-only.
+        let mut cfg = VmServerConfig::cpu(
+            CloudProvider::Aws,
+            ModelKind::Vgg.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        cfg.queue_capacity = 1;
+        let dep = Deployment::new(PlatformKind::AwsCpu, ModelKind::Vgg, RuntimeKind::Tf115);
+        let run = Executor::default().run_built(&dep, Platform::vm(cfg, Seed(3)), &trace, Seed(3));
+        let a = analyze(&run);
+        let series_total: u64 = a.series.iter().map(|p| p.requests).sum();
+        assert_eq!(series_total, a.total, "series must cover every request");
+        let last = a.series.last().expect("non-empty series");
+        assert!(last.mean_latency.is_none() || last.success_ratio.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn empty_run_analyzes_cleanly() {
+        let trace = slsb_workload::WorkloadTrace::new("empty", SimDuration::from_secs(5), vec![]);
+        let run = Executor::default()
+            .run(
+                &Deployment::new(
+                    PlatformKind::AwsServerless,
+                    ModelKind::MobileNet,
+                    RuntimeKind::Tf115,
+                ),
+                &trace,
+                Seed(1),
+            )
+            .unwrap();
+        let a = analyze(&run);
+        assert_eq!(a.total, 0);
+        assert_eq!(a.success_ratio, 1.0);
+        assert!(a.latency.is_none());
+    }
+}

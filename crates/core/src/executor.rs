@@ -1,0 +1,535 @@
+//! The executor (paper Figure 3): an open-loop client fleet replaying a
+//! workload trace against one simulated serving system.
+//!
+//! Requests fire at their trace timestamps regardless of outstanding
+//! responses (the paper's clients replay a pre-generated workload), each
+//! client draws its payload from the shared request pool, and a per-request
+//! HTTP timeout converts slow responses into failures — the mechanism
+//! behind every success-ratio number in the evaluation.
+
+use crate::batching::{plan_invocations, BatchPolicy, Invocation};
+use crate::plan::{Deployment, PlanError};
+use serde::{Deserialize, Serialize};
+use slsb_model::ModelKind;
+use slsb_platform::{
+    ColdStartBreakdown, FailureReason, NetworkProfile, Outcome, Platform, PlatformEvent,
+    PlatformReport, PlatformScheduler, RequestId, ServingRequest,
+};
+use slsb_sim::{Engine, EventQueue, Seed, SimDuration, SimTime, System};
+use slsb_workload::{InputKind, RequestPool, WorkloadTrace};
+
+/// Client-fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Number of client nodes (the paper uses 8).
+    pub clients: usize,
+    /// Request-pool size (the paper uses 200).
+    pub pool_size: usize,
+    /// Client HTTP timeout; a response slower than this counts as failed.
+    pub timeout: SimDuration,
+    /// Client↔endpoint network path.
+    pub network: NetworkProfile,
+    /// Batching override: `None` derives [`BatchPolicy::Fixed`] from the
+    /// deployment's `batch_size`; `Some` replaces it (used by the adaptive-
+    /// batching extension).
+    pub batch_override: Option<BatchPolicy>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            clients: 8,
+            pool_size: RequestPool::DEFAULT_SIZE,
+            timeout: SimDuration::from_secs(60),
+            network: NetworkProfile::DEFAULT,
+            batch_override: None,
+        }
+    }
+}
+
+/// The resolved fate of one logical request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Position in the workload trace.
+    pub index: usize,
+    /// Which client issued it.
+    pub client: u32,
+    /// Trace arrival instant (when the user "pressed send").
+    pub arrival: SimTime,
+    /// When the carrying invocation actually fired (later than `arrival`
+    /// under batching).
+    pub sent_at: SimTime,
+    /// Payload bytes attributed to this request.
+    pub payload_bytes: u64,
+    /// Final outcome after applying the client timeout.
+    pub outcome: Outcome,
+    /// End-to-end latency from `arrival` to client receive (present for
+    /// successes).
+    pub latency: Option<SimDuration>,
+    /// Cold-start breakdown when one was on this request's path.
+    pub cold_start: Option<ColdStartBreakdown>,
+    /// Server-side predict time of the carrying invocation.
+    pub predict: SimDuration,
+    /// Platform-side queueing of the carrying invocation.
+    pub queued: SimDuration,
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The deployment that served the run.
+    pub deployment: Deployment,
+    /// Workload name (e.g. `"workload-120"`).
+    pub workload: String,
+    /// Nominal workload duration.
+    pub duration: SimDuration,
+    /// One record per logical request, trace order.
+    pub records: Vec<RequestRecord>,
+    /// Platform-side accounting (cost, instances, cold starts).
+    pub platform: PlatformReport,
+}
+
+impl RunResult {
+    /// Requests that succeeded.
+    pub fn successes(&self) -> impl Iterator<Item = &RequestRecord> + '_ {
+        self.records.iter().filter(|r| r.outcome.is_success())
+    }
+
+    /// Success ratio over all requests.
+    pub fn success_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.successes().count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of *all* requests answered successfully within `slo` —
+    /// failures count against attainment, unlike percentile-of-successes
+    /// metrics.
+    pub fn slo_attainment(&self, slo: SimDuration) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let within = self
+            .successes()
+            .filter(|r| r.latency.expect("success has latency") <= slo)
+            .count();
+        within as f64 / self.records.len() as f64
+    }
+}
+
+/// Runs deployments against workload traces.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    cfg: ExecutorConfig,
+}
+
+enum ExecEvent {
+    Deliver(usize),
+    Platform(PlatformEvent),
+}
+
+struct ExecSystem {
+    platform: Platform,
+    invocations: Vec<Invocation>,
+    payload_per_invocation: Vec<u64>,
+    inferences_per_invocation: Vec<u32>,
+    /// Response bookkeeping: invocation idx → (send instant, member record
+    /// indices).
+    responses: Vec<(usize, slsb_platform::ServingResponse)>,
+    buffer: Vec<(SimDuration, PlatformEvent)>,
+}
+
+impl ExecSystem {
+    fn with_platform<R>(
+        &mut self,
+        queue: &mut EventQueue<ExecEvent>,
+        f: impl FnOnce(&mut Platform, &mut PlatformScheduler<'_>) -> R,
+    ) -> R {
+        let mut sched = PlatformScheduler::new(queue.now(), &mut self.buffer);
+        let r = f(&mut self.platform, &mut sched);
+        for (d, e) in self.buffer.drain(..) {
+            queue.schedule_after(d, ExecEvent::Platform(e));
+        }
+        r
+    }
+
+    fn drain(&mut self) {
+        let new = self.platform.drain_responses();
+        for resp in new {
+            self.responses.push((resp.id.0 as usize, resp));
+        }
+    }
+}
+
+impl System for ExecSystem {
+    type Ev = ExecEvent;
+    fn handle(&mut self, queue: &mut EventQueue<ExecEvent>, _at: SimTime, ev: ExecEvent) {
+        match ev {
+            ExecEvent::Deliver(idx) => {
+                let req = ServingRequest {
+                    id: RequestId(idx as u64),
+                    arrival: queue.now(),
+                    payload_bytes: self.payload_per_invocation[idx],
+                    inferences: self.inferences_per_invocation[idx],
+                };
+                self.with_platform(queue, |p, s| p.submit(s, req));
+            }
+            ExecEvent::Platform(e) => {
+                self.with_platform(queue, |p, s| p.handle(s, e));
+            }
+        }
+        self.drain();
+    }
+}
+
+impl Executor {
+    /// An executor with the given configuration.
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        Executor { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// The request pool an executor builds for `model`.
+    pub fn pool_for(&self, model: ModelKind, samples_per_request: u32) -> RequestPool {
+        let kind = if model.profile().image_input {
+            InputKind::Image
+        } else {
+            InputKind::Text
+        };
+        RequestPool::generate(kind, self.cfg.pool_size)
+            .with_samples_per_request(samples_per_request)
+    }
+
+    /// Replays `trace` against `deployment`, returning per-request records
+    /// and the platform report.
+    ///
+    /// # Errors
+    /// Fails when the deployment is invalid.
+    pub fn run(
+        &self,
+        deployment: &Deployment,
+        trace: &WorkloadTrace,
+        seed: Seed,
+    ) -> Result<RunResult, PlanError> {
+        let platform = deployment.build(seed)?;
+        Ok(self.run_built(deployment, platform, trace, seed))
+    }
+
+    /// Replays `trace` against an already-built platform. This is the
+    /// ablation entry point: callers may hand-construct a platform whose
+    /// knobs the [`Deployment`] surface does not expose (e.g. a custom
+    /// over-provisioning factor); `deployment` is then only descriptive
+    /// metadata for the records.
+    pub fn run_built(
+        &self,
+        deployment: &Deployment,
+        platform: Platform,
+        trace: &WorkloadTrace,
+        seed: Seed,
+    ) -> RunResult {
+        let pool = self.pool_for(deployment.model, deployment.samples_per_request);
+
+        // Assign requests to clients round-robin (the paper's splitter) and
+        // draw payloads from the pool.
+        let n = trace.arrivals().len();
+        let clients = self.cfg.clients.max(1);
+        let mut client_rngs: Vec<_> = (0..clients)
+            .map(|c| seed.substream_indexed("client", c as u64).rng())
+            .collect();
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(n);
+        let mut per_client: Vec<Vec<(usize, SimTime)>> = vec![Vec::new(); clients];
+        for (i, &arrival) in trace.arrivals().iter().enumerate() {
+            let client = i % clients;
+            let payload = pool.pick(&mut client_rngs[client]);
+            records.push(RequestRecord {
+                index: i,
+                client: client as u32,
+                arrival,
+                sent_at: arrival,
+                payload_bytes: payload.size_bytes,
+                outcome: Outcome::Failure(FailureReason::ClientTimeout),
+                latency: None,
+                cold_start: None,
+                predict: SimDuration::ZERO,
+                queued: SimDuration::ZERO,
+            });
+            per_client[client].push((i, arrival));
+        }
+
+        // Group each client's requests into invocations.
+        let policy = self
+            .cfg
+            .batch_override
+            .unwrap_or(if deployment.batch_size > 1 {
+                BatchPolicy::Fixed(deployment.batch_size)
+            } else {
+                BatchPolicy::None
+            });
+        let mut invocations: Vec<Invocation> = Vec::with_capacity(n);
+        for arrivals in &per_client {
+            invocations.extend(plan_invocations(arrivals, policy));
+        }
+        // Record when each request's invocation fired.
+        for (inv_idx, inv) in invocations.iter().enumerate() {
+            let _ = inv_idx;
+            for &m in &inv.members {
+                records[m].sent_at = inv.send_at;
+            }
+        }
+        let payload_per_invocation: Vec<u64> = invocations
+            .iter()
+            .map(|inv| inv.members.iter().map(|&m| records[m].payload_bytes).sum())
+            .collect();
+        let inferences_per_invocation: Vec<u32> = invocations
+            .iter()
+            .map(|inv| inv.members.len() as u32 * deployment.inference_repeats)
+            .collect();
+
+        // Assemble the engine. Deliveries are scheduled up front so the
+        // system can own the invocation tables outright.
+        let deliveries: Vec<(usize, SimTime)> = invocations
+            .iter()
+            .enumerate()
+            .map(|(idx, inv)| {
+                (
+                    idx,
+                    inv.send_at + self.cfg.network.transfer_time(payload_per_invocation[idx]),
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(ExecSystem {
+            platform,
+            invocations,
+            payload_per_invocation,
+            inferences_per_invocation,
+            responses: Vec::new(),
+            buffer: Vec::new(),
+        });
+
+        let horizon =
+            SimTime::ZERO + trace.duration() + self.cfg.timeout + SimDuration::from_secs(30);
+
+        // Platform startup at t = 0.
+        {
+            let sys = &mut engine.system;
+            let mut sched = PlatformScheduler::new(SimTime::ZERO, &mut sys.buffer);
+            sys.platform
+                .start(&mut sched, SimTime::ZERO + trace.duration());
+            for (d, e) in sys.buffer.drain(..) {
+                engine.queue.schedule_after(d, ExecEvent::Platform(e));
+            }
+        }
+
+        // Invocation deliveries: network transfer happens on the way in.
+        for (idx, deliver_at) in deliveries {
+            engine
+                .queue
+                .schedule_at(deliver_at, ExecEvent::Deliver(idx));
+        }
+
+        engine.run_until(horizon);
+        engine.queue.advance_to(horizon);
+        // Rented capacity is torn down shortly after the workload ends (the
+        // paper estimates hourly-billed systems "based on the actual
+        // execution time"); the extra drain window exists only so late
+        // responses can reach the clients.
+        let teardown = SimTime::ZERO + trace.duration() + SimDuration::from_secs(30);
+        engine.system.platform.finalize(teardown.min(horizon));
+        engine.system.drain();
+
+        // Resolve records from responses.
+        let response_net = self.cfg.network.response_time();
+        let sys = engine.system;
+        for (inv_idx, resp) in &sys.responses {
+            let inv = &sys.invocations[*inv_idx];
+            let receive = resp.completed_at + response_net;
+            for &m in &inv.members {
+                let rec = &mut records[m];
+                let e2e = receive.saturating_duration_since(rec.arrival);
+                rec.predict = resp.predict;
+                rec.queued = resp.queued;
+                rec.cold_start = resp.cold_start;
+                match resp.outcome {
+                    Outcome::Failure(reason) => {
+                        rec.outcome = Outcome::Failure(reason);
+                    }
+                    Outcome::Success if e2e > self.cfg.timeout => {
+                        rec.outcome = Outcome::Failure(FailureReason::ClientTimeout);
+                    }
+                    Outcome::Success => {
+                        rec.outcome = Outcome::Success;
+                        rec.latency = Some(e2e);
+                    }
+                }
+            }
+        }
+
+        RunResult {
+            deployment: *deployment,
+            workload: trace.name().to_string(),
+            duration: trace.duration(),
+            records,
+            platform: sys.platform.report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_model::RuntimeKind;
+    use slsb_platform::PlatformKind;
+
+    use slsb_workload::{MmppSpec, WorkloadTrace};
+
+    fn small_trace(rate: f64, secs: u64) -> WorkloadTrace {
+        MmppSpec {
+            name: "test",
+            rate_high: rate,
+            rate_low: rate / 4.0,
+            mean_high_dwell: SimDuration::from_secs(20),
+            mean_low_dwell: SimDuration::from_secs(40),
+            duration: SimDuration::from_secs(secs),
+        }
+        .generate(Seed(99))
+    }
+
+    fn deployment(platform: PlatformKind) -> Deployment {
+        Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115)
+    }
+
+    #[test]
+    fn every_request_is_resolved() {
+        let exec = Executor::default();
+        let trace = small_trace(10.0, 120);
+        for platform in [
+            PlatformKind::AwsServerless,
+            PlatformKind::AwsManagedMl,
+            PlatformKind::AwsCpu,
+            PlatformKind::AwsGpu,
+        ] {
+            let run = exec.run(&deployment(platform), &trace, Seed(1)).unwrap();
+            assert_eq!(run.records.len(), trace.len());
+            // No unresolved successes-without-latency.
+            for r in &run.records {
+                if r.outcome.is_success() {
+                    assert!(r.latency.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serverless_succeeds_under_burst() {
+        let exec = Executor::default();
+        let trace = small_trace(30.0, 120);
+        let run = exec
+            .run(&deployment(PlatformKind::AwsServerless), &trace, Seed(2))
+            .unwrap();
+        assert!(run.success_ratio() > 0.99, "SR {}", run.success_ratio());
+        assert!(run.platform.cold_started > 0);
+    }
+
+    #[test]
+    fn warm_serverless_latency_is_small() {
+        let exec = Executor::default();
+        let trace = small_trace(10.0, 300);
+        let run = exec
+            .run(&deployment(PlatformKind::AwsServerless), &trace, Seed(3))
+            .unwrap();
+        // Average warm latency (excluding cold starts) well under a second.
+        let warm: Vec<f64> = run
+            .successes()
+            .filter(|r| r.cold_start.is_none())
+            .filter_map(|r| r.latency.map(|l| l.as_secs_f64()))
+            .collect();
+        assert!(!warm.is_empty());
+        let mean = warm.iter().sum::<f64>() / warm.len() as f64;
+        assert!(mean < 0.3, "warm mean {mean}");
+    }
+
+    #[test]
+    fn cpu_server_collapses_at_high_rate() {
+        let exec = Executor::default();
+        let trace = small_trace(120.0, 180);
+        let run = exec
+            .run(&deployment(PlatformKind::AwsCpu), &trace, Seed(4))
+            .unwrap();
+        assert!(
+            run.success_ratio() < 0.8,
+            "CPU server should drop requests: SR {}",
+            run.success_ratio()
+        );
+    }
+
+    #[test]
+    fn batching_delays_requests_but_cuts_invocations() {
+        let exec = Executor::default();
+        let trace = small_trace(20.0, 120);
+        let single = exec
+            .run(&deployment(PlatformKind::AwsServerless), &trace, Seed(5))
+            .unwrap();
+        let batched_dep = deployment(PlatformKind::AwsServerless).with_batch_size(8);
+        let batched = exec.run(&batched_dep, &trace, Seed(5)).unwrap();
+        assert!(batched.platform.invocations * 4 < single.platform.invocations);
+        let mean = |r: &RunResult| {
+            let v: Vec<f64> = r
+                .successes()
+                .filter_map(|x| x.latency.map(|l| l.as_secs_f64()))
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&batched) > mean(&single), "batching must add latency");
+    }
+
+    #[test]
+    fn batched_records_share_invocation_but_keep_own_arrival() {
+        let exec = Executor::default();
+        let trace = small_trace(20.0, 60);
+        let dep = deployment(PlatformKind::AwsServerless).with_batch_size(4);
+        let run = exec.run(&dep, &trace, Seed(6)).unwrap();
+        // sent_at ≥ arrival always; strictly greater for early batch members.
+        assert!(run.records.iter().all(|r| r.sent_at >= r.arrival));
+        assert!(run.records.iter().any(|r| r.sent_at > r.arrival));
+    }
+
+    #[test]
+    fn invalid_deployment_is_rejected() {
+        let exec = Executor::default();
+        let trace = small_trace(5.0, 30);
+        let dep = Deployment::new(
+            PlatformKind::GcpManagedMl,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        assert!(exec.run(&dep, &trace, Seed(7)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let exec = Executor::default();
+        let trace = small_trace(15.0, 90);
+        let dep = deployment(PlatformKind::AwsServerless);
+        let a = exec.run(&dep, &trace, Seed(8)).unwrap();
+        let b = exec.run(&dep, &trace, Seed(8)).unwrap();
+        assert_eq!(a.records, b.records);
+        let c = exec.run(&dep, &trace, Seed(9)).unwrap();
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn empty_trace_runs_cleanly() {
+        let exec = Executor::default();
+        let trace = WorkloadTrace::new("empty", SimDuration::from_secs(10), vec![]);
+        let run = exec
+            .run(&deployment(PlatformKind::AwsServerless), &trace, Seed(10))
+            .unwrap();
+        assert!(run.records.is_empty());
+        assert_eq!(run.success_ratio(), 1.0);
+    }
+}

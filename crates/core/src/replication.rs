@@ -1,0 +1,185 @@
+//! Seed replication: run the same deployment × workload across several
+//! seeds and aggregate, reporting mean ± standard deviation for each
+//! metric. The paper reports single runs; replication quantifies how much
+//! of any comparison is seed noise — essential before reading small
+//! deltas off the tables.
+
+use crate::analyzer::{analyze, Analysis};
+use crate::executor::Executor;
+use crate::plan::{Deployment, PlanError};
+use crate::scenario::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use slsb_sim::{Accumulator, Seed};
+
+/// Mean ± population standard deviation of one metric across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Mean across replicas.
+    pub mean: f64,
+    /// Population standard deviation across replicas.
+    pub std_dev: f64,
+    /// Smallest replica value.
+    pub min: f64,
+    /// Largest replica value.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    fn from_accumulator(acc: &Accumulator) -> Option<MetricSummary> {
+        Some(MetricSummary {
+            mean: acc.mean()?,
+            std_dev: acc.std_dev()?,
+            min: acc.min()?,
+            max: acc.max()?,
+        })
+    }
+
+    /// `mean ± std` rendering.
+    pub fn display(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.std_dev, p = precision)
+    }
+}
+
+/// Aggregated results of an n-seed replication.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replication {
+    /// Number of replicas that ran.
+    pub replicas: usize,
+    /// Mean latency of successful requests (seconds), across replicas.
+    pub mean_latency: Option<MetricSummary>,
+    /// p99 latency (seconds), across replicas.
+    pub p99_latency: Option<MetricSummary>,
+    /// Success ratio, across replicas.
+    pub success_ratio: MetricSummary,
+    /// Total cost (dollars), across replicas.
+    pub cost: MetricSummary,
+    /// Cold-started instances, across replicas.
+    pub cold_started: MetricSummary,
+    /// The individual analyses, in seed order.
+    pub analyses: Vec<Analysis>,
+}
+
+/// Runs `deployment` on `workload` with seeds `base_seed..base_seed + n`
+/// and aggregates.
+///
+/// # Errors
+/// Fails when the deployment is invalid.
+///
+/// # Panics
+/// Panics if `replicas` is zero.
+pub fn replicate(
+    executor: &Executor,
+    deployment: &Deployment,
+    workload: WorkloadSpec,
+    base_seed: u64,
+    replicas: usize,
+) -> Result<Replication, PlanError> {
+    assert!(replicas > 0, "zero replicas");
+    let mut lat = Accumulator::new();
+    let mut p99 = Accumulator::new();
+    let mut sr = Accumulator::new();
+    let mut cost = Accumulator::new();
+    let mut cold = Accumulator::new();
+    let mut analyses = Vec::with_capacity(replicas);
+
+    for i in 0..replicas {
+        let seed = Seed(base_seed + i as u64);
+        let trace = workload.generate(seed.substream("replication-workload"));
+        let run = executor.run(deployment, &trace, seed)?;
+        let a = analyze(&run);
+        if let Some(l) = a.latency {
+            lat.add(l.mean);
+            p99.add(l.p99);
+        }
+        sr.add(a.success_ratio);
+        cost.add(a.cost_dollars());
+        cold.add(a.cold_started as f64);
+        analyses.push(a);
+    }
+
+    Ok(Replication {
+        replicas,
+        mean_latency: MetricSummary::from_accumulator(&lat),
+        p99_latency: MetricSummary::from_accumulator(&p99),
+        success_ratio: MetricSummary::from_accumulator(&sr).expect("replicas > 0"),
+        cost: MetricSummary::from_accumulator(&cost).expect("replicas > 0"),
+        cold_started: MetricSummary::from_accumulator(&cold).expect("replicas > 0"),
+        analyses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_model::{ModelKind, RuntimeKind};
+    use slsb_platform::PlatformKind;
+    use slsb_workload::MmppPreset;
+
+    fn workload() -> WorkloadSpec {
+        WorkloadSpec::Preset {
+            which: MmppPreset::W40,
+            scale: 0.1,
+        }
+    }
+
+    fn deployment() -> Deployment {
+        Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        )
+    }
+
+    #[test]
+    fn replication_aggregates_five_seeds() {
+        let r = replicate(&Executor::default(), &deployment(), workload(), 100, 5).unwrap();
+        assert_eq!(r.replicas, 5);
+        assert_eq!(r.analyses.len(), 5);
+        let lat = r.mean_latency.unwrap();
+        assert!(lat.min <= lat.mean && lat.mean <= lat.max);
+        assert!(lat.std_dev >= 0.0);
+        assert!(r.success_ratio.mean > 0.95);
+        assert!(r.cost.mean > 0.0);
+    }
+
+    #[test]
+    fn seeds_actually_vary() {
+        let r = replicate(&Executor::default(), &deployment(), workload(), 200, 4).unwrap();
+        // Different seeds generate different workloads, so costs differ.
+        assert!(r.cost.std_dev > 0.0, "replicas should not be identical");
+    }
+
+    #[test]
+    fn single_replica_has_zero_spread() {
+        let r = replicate(&Executor::default(), &deployment(), workload(), 300, 1).unwrap();
+        assert_eq!(r.cost.std_dev, 0.0);
+        assert_eq!(r.cost.min, r.cost.max);
+    }
+
+    #[test]
+    fn invalid_deployment_propagates() {
+        let bad = Deployment::new(
+            PlatformKind::GcpManagedMl,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        assert!(replicate(&Executor::default(), &bad, workload(), 1, 2).is_err());
+    }
+
+    #[test]
+    fn metric_display() {
+        let m = MetricSummary {
+            mean: 0.1234,
+            std_dev: 0.0056,
+            min: 0.1,
+            max: 0.2,
+        };
+        assert_eq!(m.display(3), "0.123 ± 0.006");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn zero_replicas_panics() {
+        let _ = replicate(&Executor::default(), &deployment(), workload(), 1, 0);
+    }
+}

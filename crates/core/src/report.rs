@@ -1,0 +1,240 @@
+//! Report rendering: paper-style tables in Markdown and CSV.
+
+use slsb_platform::Money;
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavored Markdown with a bold title line.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("**{}**\n\n", self.title));
+        }
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `$0.186`-style money formatting (the paper's Table 1 precision).
+pub fn fmt_money(m: Money) -> String {
+    format!("${:.3}", m.as_dollars())
+}
+
+/// Seconds with millisecond precision.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}s")
+}
+
+/// Optional seconds, `-` when absent.
+pub fn fmt_opt_secs(s: Option<f64>) -> String {
+    s.map(fmt_secs).unwrap_or_else(|| "-".to_string())
+}
+
+/// Percentage with the paper's integer precision.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Renders a series as a fixed-height ASCII column chart — a terminal
+/// stand-in for the paper's figures. `None` values render as gaps.
+///
+/// # Panics
+/// Panics if `height` is zero.
+pub fn ascii_chart(title: &str, series: &[(f64, Option<f64>)], height: usize) -> String {
+    assert!(height > 0, "zero chart height");
+    let max = series.iter().filter_map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!("{title} (max {max:.3})\n"));
+    if series.is_empty() || max <= 0.0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    for row in (1..=height).rev() {
+        let threshold = max * row as f64 / height as f64;
+        let lower = max * (row as f64 - 1.0) / height as f64;
+        out.push('\u{250a}');
+        for &(_, v) in series {
+            out.push(match v {
+                Some(x) if x >= threshold => '\u{2588}',
+                Some(x) if x > lower => '\u{2584}',
+                Some(_) => ' ',
+                None => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out.push('\u{2514}');
+    for _ in series {
+        out.push('\u{2500}');
+    }
+    out.push_str(&format!(
+        "\n t: {:.0}s .. {:.0}s\n",
+        series.first().map(|&(t, _)| t).unwrap_or(0.0),
+        series.last().map(|&(t, _)| t).unwrap_or(0.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Costs", &["System", "workload-40"]);
+        t.push_row(vec!["AWS-Serverless".into(), "$0.050".into()]);
+        t.push_row(vec!["AWS-GPU".into(), "$0.181".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("**Costs**"));
+        assert_eq!(md.lines().count(), 6); // title, blank, header, sep, 2 rows
+        assert!(md.contains("| AWS-Serverless | $0.050"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "He said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"He said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_money(Money::from_dollars(0.186)), "$0.186");
+        assert_eq!(fmt_secs(0.0971), "0.097s");
+        assert_eq!(fmt_pct(0.825), "82.5%");
+        assert_eq!(fmt_opt_secs(None), "-");
+        assert_eq!(fmt_opt_secs(Some(1.5)), "1.500s");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new("t", &["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn ascii_chart_shapes() {
+        let series: Vec<(f64, Option<f64>)> = (0..20)
+            .map(|i| (i as f64 * 10.0, Some((i % 7) as f64)))
+            .collect();
+        let chart = ascii_chart("latency", &series, 5);
+        assert!(chart.starts_with("latency"));
+        // 1 title + 5 rows + axis + footer.
+        assert_eq!(chart.lines().count(), 8);
+        assert!(chart.contains('\u{2588}'));
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_and_gaps() {
+        assert!(ascii_chart("x", &[], 3).contains("no data"));
+        let with_gap = ascii_chart("x", &[(0.0, None), (1.0, Some(2.0))], 3);
+        assert!(with_gap.contains('\u{2588}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero chart height")]
+    fn ascii_chart_zero_height_panics() {
+        ascii_chart("x", &[(0.0, Some(1.0))], 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Declarative scenarios: a JSON-serializable description of one
+//! experiment — workload, deployment, executor settings, seed — that can be
+//! saved, shared, and replayed. This is the "easily extended to support new
+//! models and new platforms" surface the paper claims for its framework
+//! (Section 3): downstream users describe a run instead of writing code.
+
+use crate::analyzer::{analyze, Analysis};
+use crate::executor::{Executor, ExecutorConfig, RunResult};
+use crate::plan::{Deployment, PlanError};
+use serde::{Deserialize, Serialize};
+use slsb_sim::{Seed, SimDuration, SimTime};
+use slsb_workload::{
+    DiurnalSpec, FlashCrowdSpec, MmppPreset, MmppSpec, PoissonProcess, WorkloadTrace,
+};
+use std::fmt;
+
+/// A serializable workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    /// One of the paper's presets, optionally duration-scaled.
+    Preset {
+        /// Which preset.
+        which: MmppPreset,
+        /// Duration scale (1.0 = the paper's 900 s).
+        scale: f64,
+    },
+    /// A custom 2-state MMPP.
+    Mmpp {
+        /// High-state rate (req/s).
+        rate_high: f64,
+        /// Low-state rate (req/s).
+        rate_low: f64,
+        /// Mean high-state sojourn, seconds.
+        dwell_high_s: f64,
+        /// Mean low-state sojourn, seconds.
+        dwell_low_s: f64,
+        /// Trace duration, seconds.
+        duration_s: f64,
+    },
+    /// A sinusoidal day-night cycle.
+    Diurnal {
+        /// Mean rate (req/s).
+        base_rate: f64,
+        /// Peak-to-mean difference (req/s).
+        amplitude: f64,
+        /// Cycle period, seconds.
+        period_s: f64,
+        /// Trace duration, seconds.
+        duration_s: f64,
+    },
+    /// A flash crowd on a quiet background.
+    FlashCrowd {
+        /// Background rate (req/s).
+        base_rate: f64,
+        /// Spike rate (req/s).
+        spike_rate: f64,
+        /// Spike onset, seconds.
+        spike_start_s: f64,
+        /// Spike length, seconds.
+        spike_duration_s: f64,
+        /// Trace duration, seconds.
+        duration_s: f64,
+    },
+    /// Constant-rate Poisson arrivals.
+    Poisson {
+        /// Arrival rate (req/s).
+        rate: f64,
+        /// Trace duration, seconds.
+        duration_s: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materializes the trace for a seed.
+    pub fn generate(&self, seed: Seed) -> WorkloadTrace {
+        match *self {
+            WorkloadSpec::Preset { which, scale } => {
+                let spec = which.spec();
+                MmppSpec {
+                    duration: spec.duration.mul_f64(scale),
+                    ..spec
+                }
+                .generate(seed)
+            }
+            WorkloadSpec::Mmpp {
+                rate_high,
+                rate_low,
+                dwell_high_s,
+                dwell_low_s,
+                duration_s,
+            } => MmppSpec {
+                name: "scenario-mmpp",
+                rate_high,
+                rate_low,
+                mean_high_dwell: SimDuration::from_secs_f64(dwell_high_s),
+                mean_low_dwell: SimDuration::from_secs_f64(dwell_low_s),
+                duration: SimDuration::from_secs_f64(duration_s),
+            }
+            .generate(seed),
+            WorkloadSpec::Diurnal {
+                base_rate,
+                amplitude,
+                period_s,
+                duration_s,
+            } => DiurnalSpec {
+                name: "scenario-diurnal",
+                base_rate,
+                amplitude,
+                period: SimDuration::from_secs_f64(period_s),
+                duration: SimDuration::from_secs_f64(duration_s),
+            }
+            .generate(seed),
+            WorkloadSpec::FlashCrowd {
+                base_rate,
+                spike_rate,
+                spike_start_s,
+                spike_duration_s,
+                duration_s,
+            } => FlashCrowdSpec {
+                name: "scenario-flash-crowd",
+                base_rate,
+                spike_rate,
+                spike_start: SimTime::from_secs_f64(spike_start_s),
+                spike_duration: SimDuration::from_secs_f64(spike_duration_s),
+                duration: SimDuration::from_secs_f64(duration_s),
+            }
+            .generate(seed),
+            WorkloadSpec::Poisson { rate, duration_s } => {
+                PoissonProcess::new(rate, SimDuration::from_secs_f64(duration_s)).generate(seed)
+            }
+        }
+    }
+}
+
+/// One complete, replayable experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// The workload to generate.
+    pub workload: WorkloadSpec,
+    /// The deployment to serve it with.
+    pub deployment: Deployment,
+    /// Client-fleet settings.
+    #[serde(default = "ExecutorConfig::default")]
+    pub executor: ExecutorConfig,
+}
+
+/// Why a scenario failed to load or run.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// JSON was malformed or did not match the schema.
+    Parse(serde_json::Error),
+    /// The deployment violates a platform rule.
+    Plan(PlanError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
+            ScenarioError::Plan(e) => write!(f, "invalid deployment: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<PlanError> for ScenarioError {
+    fn from(e: PlanError) -> Self {
+        ScenarioError::Plan(e)
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema mismatch.
+    pub fn from_json(json: &str) -> Result<Scenario, ScenarioError> {
+        serde_json::from_str(json).map_err(ScenarioError::Parse)
+    }
+
+    /// Serializes the scenario to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario is serializable")
+    }
+
+    /// Generates the workload and runs the deployment.
+    ///
+    /// # Errors
+    /// Fails when the deployment is invalid.
+    pub fn run(&self) -> Result<(RunResult, Analysis), ScenarioError> {
+        let seed = Seed(self.seed);
+        let trace = self.workload.generate(seed.substream("scenario-workload"));
+        let run = Executor::new(self.executor).run(&self.deployment, &trace, seed)?;
+        let analysis = analyze(&run);
+        Ok((run, analysis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_model::{ModelKind, RuntimeKind};
+    use slsb_platform::PlatformKind;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "smoke".into(),
+            seed: 7,
+            workload: WorkloadSpec::Mmpp {
+                rate_high: 30.0,
+                rate_low: 8.0,
+                dwell_high_s: 20.0,
+                dwell_low_s: 40.0,
+                duration_s: 120.0,
+            },
+            deployment: Deployment::new(
+                PlatformKind::AwsServerless,
+                ModelKind::MobileNet,
+                RuntimeKind::Ort14,
+            ),
+            executor: ExecutorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample();
+        let json = s.to_json();
+        let parsed = Scenario::from_json(&json).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let (run, analysis) = sample().run().unwrap();
+        assert!(!run.records.is_empty());
+        assert!(analysis.success_ratio > 0.9);
+        assert!(analysis.cost_dollars() > 0.0);
+    }
+
+    #[test]
+    fn every_workload_kind_generates() {
+        let seed = Seed(3);
+        let specs = [
+            WorkloadSpec::Preset {
+                which: MmppPreset::W40,
+                scale: 0.05,
+            },
+            WorkloadSpec::Diurnal {
+                base_rate: 20.0,
+                amplitude: 10.0,
+                period_s: 60.0,
+                duration_s: 120.0,
+            },
+            WorkloadSpec::FlashCrowd {
+                base_rate: 5.0,
+                spike_rate: 80.0,
+                spike_start_s: 30.0,
+                spike_duration_s: 10.0,
+                duration_s: 90.0,
+            },
+            WorkloadSpec::Poisson {
+                rate: 15.0,
+                duration_s: 60.0,
+            },
+        ];
+        for spec in specs {
+            let tr = spec.generate(seed);
+            assert!(!tr.is_empty(), "{spec:?} generated nothing");
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = Scenario::from_json("{not json").unwrap_err();
+        assert!(matches!(err, ScenarioError::Parse(_)));
+        assert!(err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn invalid_deployment_is_a_plan_error() {
+        let mut s = sample();
+        s.deployment = Deployment::new(
+            PlatformKind::GcpManagedMl,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        let err = s.run().unwrap_err();
+        assert!(matches!(err, ScenarioError::Plan(_)));
+    }
+
+    #[test]
+    fn executor_field_is_optional_in_json() {
+        let json = r#"{
+            "name": "minimal",
+            "seed": 1,
+            "workload": {"kind": "poisson", "rate": 10.0, "duration_s": 30.0},
+            "deployment": {
+                "platform": "AwsServerless",
+                "model": "MobileNet",
+                "runtime": "Ort14",
+                "memory_mb": 2048.0,
+                "provisioned_concurrency": 0,
+                "batch_size": 1,
+                "extra_container_mb": 0.0,
+                "extra_download_mb": 0.0,
+                "samples_per_request": 1,
+                "inference_repeats": 1
+            }
+        }"#;
+        let s = Scenario::from_json(json).unwrap();
+        assert_eq!(s.executor, ExecutorConfig::default());
+        let (_, analysis) = s.run().unwrap();
+        assert!(analysis.total > 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the framework's end-to-end invariants: for any
+//! valid deployment and any workload, the executor resolves every request,
+//! conserves counts, keeps latency causal, and stays deterministic.
+
+use proptest::prelude::*;
+use slsb_core::{analyze, BatchPolicy, Deployment, Executor, ExecutorConfig};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_sim::{Seed, SimDuration};
+use slsb_workload::{MmppSpec, WorkloadTrace};
+
+fn any_platform() -> impl Strategy<Value = PlatformKind> {
+    prop::sample::select(PlatformKind::ALL.to_vec())
+}
+
+fn any_model() -> impl Strategy<Value = ModelKind> {
+    prop::sample::select(ModelKind::ALL.to_vec())
+}
+
+fn small_trace(rate: f64, secs: u64, seed: u64) -> WorkloadTrace {
+    MmppSpec {
+        name: "prop",
+        rate_high: rate,
+        rate_low: rate / 4.0,
+        mean_high_dwell: SimDuration::from_secs(15),
+        mean_low_dwell: SimDuration::from_secs(30),
+        duration: SimDuration::from_secs(secs),
+    }
+    .generate(Seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every request resolves to exactly one outcome, and the analyzer's
+    /// counts always balance — for any platform × model × workload.
+    #[test]
+    fn conservation_holds_everywhere(
+        platform in any_platform(),
+        model in any_model(),
+        rate in 5.0f64..60.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = small_trace(rate, 60, seed);
+        let dep = Deployment::new(platform, model, RuntimeKind::Tf115);
+        let run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
+        prop_assert_eq!(run.records.len(), trace.len());
+        let a = analyze(&run);
+        prop_assert_eq!(
+            a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
+            a.total
+        );
+        prop_assert!((0.0..=1.0).contains(&a.success_ratio));
+        prop_assert!(a.cost.total().as_dollars() >= 0.0);
+    }
+
+    /// Latency is bounded below by the physical floor (two network legs)
+    /// and above by the client timeout.
+    #[test]
+    fn latency_bounds(seed in 0u64..1000, rate in 5.0f64..40.0) {
+        let trace = small_trace(rate, 60, seed);
+        let cfg = ExecutorConfig::default();
+        let floor = (cfg.network.one_way_latency + cfg.network.one_way_latency).as_secs_f64();
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        let run = Executor::new(cfg).run(&dep, &trace, Seed(seed)).unwrap();
+        for r in run.successes() {
+            let lat = r.latency.unwrap();
+            prop_assert!(lat.as_secs_f64() >= floor, "below network floor");
+            prop_assert!(lat <= cfg.timeout, "success past the timeout");
+        }
+    }
+
+    /// SLO attainment is monotone in the threshold and bounded by the
+    /// success ratio.
+    #[test]
+    fn slo_attainment_monotone(seed in 0u64..500) {
+        let trace = small_trace(30.0, 60, seed);
+        let dep = Deployment::new(
+            PlatformKind::AwsCpu,
+            ModelKind::Albert,
+            RuntimeKind::Tf115,
+        );
+        let run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
+        let thresholds = [0.1, 0.5, 1.0, 10.0, 60.0];
+        let vals: Vec<f64> = thresholds
+            .iter()
+            .map(|&s| run.slo_attainment(SimDuration::from_secs_f64(s)))
+            .collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        prop_assert!(vals[4] <= run.success_ratio() + 1e-12);
+    }
+
+    /// Batching conserves logical requests for any batch size.
+    #[test]
+    fn batching_conserves(batch in 1u32..16, seed in 0u64..500) {
+        let trace = small_trace(25.0, 45, seed);
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        )
+        .with_batch_size(batch);
+        let run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
+        prop_assert_eq!(run.records.len(), trace.len());
+        prop_assert!(run.records.iter().all(|r| r.sent_at >= r.arrival));
+        // Invocation count shrinks at least by ~the batch factor (up to the
+        // per-client remainder).
+        let max_invocations = trace.len() as u64 / u64::from(batch) + 8;
+        prop_assert!(
+            run.platform.invocations <= max_invocations,
+            "{} invocations for {} requests at batch {batch}",
+            run.platform.invocations,
+            trace.len()
+        );
+    }
+
+    /// Adaptive batching never holds a request longer than max_wait plus
+    /// the service path.
+    #[test]
+    fn adaptive_batching_bounds_hold(seed in 0u64..300) {
+        let max_wait = SimDuration::from_millis(400);
+        let exec = Executor::new(ExecutorConfig {
+            batch_override: Some(BatchPolicy::Adaptive {
+                max_wait,
+                max_batch: 8,
+            }),
+            ..ExecutorConfig::default()
+        });
+        let trace = small_trace(20.0, 45, seed);
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        let run = exec.run(&dep, &trace, Seed(seed)).unwrap();
+        for r in &run.records {
+            prop_assert!(r.sent_at.saturating_duration_since(r.arrival) <= max_wait);
+        }
+    }
+
+    /// The whole pipeline is deterministic for any seed.
+    #[test]
+    fn pipeline_deterministic(seed in 0u64..300, platform in any_platform()) {
+        let trace = small_trace(15.0, 45, seed);
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let exec = Executor::default();
+        let a = exec.run(&dep, &trace, Seed(seed)).unwrap();
+        let b = exec.run(&dep, &trace, Seed(seed)).unwrap();
+        prop_assert_eq!(a.records, b.records);
+    }
+}

@@ -1,0 +1,181 @@
+//! Compute scaling: memory→vCPU mapping and inference-time scaling.
+//!
+//! Serverless platforms allocate CPU power proportionally to the configured
+//! memory (AWS documents ~1 vCPU per 1769 MB); the paper's Figure 15 sweeps
+//! memory precisely to exploit this. Inference speeds up with vCPUs
+//! according to Amdahl's law with a per-model parallel fraction.
+
+use crate::runtime::RuntimeProfile;
+use crate::zoo::ModelProfile;
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimDuration;
+
+/// How a platform converts configured memory into CPU power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuAllocation {
+    /// MB of memory per allocated vCPU (AWS Lambda: 1769; GCP CF gen-1
+    /// roughly 2048 at the 2 GB tier).
+    pub mb_per_vcpu: f64,
+    /// Upper bound on allocatable vCPUs (Lambda caps at 6).
+    pub max_vcpus: f64,
+}
+
+impl CpuAllocation {
+    /// AWS Lambda's documented allocation curve.
+    pub const AWS_LAMBDA: CpuAllocation = CpuAllocation {
+        mb_per_vcpu: 1769.0,
+        max_vcpus: 6.0,
+    };
+
+    /// GCP Cloud Functions (gen 1) approximate allocation: the 2 GB tier
+    /// gets a 2.4 GHz CPU ≈ 1 vCPU.
+    pub const GCP_FUNCTIONS: CpuAllocation = CpuAllocation {
+        mb_per_vcpu: 2048.0,
+        max_vcpus: 4.0,
+    };
+
+    /// vCPUs allocated for `memory_mb` of configured memory.
+    ///
+    /// # Panics
+    /// Panics if `memory_mb` is not strictly positive and finite.
+    pub fn vcpus(&self, memory_mb: f64) -> f64 {
+        assert!(
+            memory_mb.is_finite() && memory_mb > 0.0,
+            "invalid memory: {memory_mb}"
+        );
+        (memory_mb / self.mb_per_vcpu).min(self.max_vcpus)
+    }
+}
+
+/// Amdahl's-law speedup of a workload with parallel fraction `p` on `c`
+/// (possibly fractional) vCPUs, relative to one full vCPU.
+///
+/// For `c < 1` the whole computation slows proportionally (a fractional
+/// share slows serial and parallel parts alike).
+pub fn amdahl_speedup(vcpus: f64, parallel_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&parallel_fraction),
+        "parallel fraction {parallel_fraction} outside [0, 1]"
+    );
+    assert!(vcpus.is_finite() && vcpus > 0.0, "invalid vcpus: {vcpus}");
+    if vcpus <= 1.0 {
+        vcpus
+    } else {
+        1.0 / ((1.0 - parallel_fraction) + parallel_fraction / vcpus)
+    }
+}
+
+/// Parallel fraction of instance-initialization work (dependency import,
+/// model load, lazy first-predict setup). Init is mostly single-threaded
+/// Python/IO but benefits partially from more CPU — which is why larger
+/// serverless memory sizes shorten cold starts (paper Figure 15).
+pub const INIT_PARALLEL_FRACTION: f64 = 0.6;
+
+/// Speedup of initialization work on `vcpus` relative to one vCPU.
+pub fn init_speedup(vcpus: f64) -> f64 {
+    amdahl_speedup(vcpus, INIT_PARALLEL_FRACTION)
+}
+
+/// Warm per-sample inference time for `model` under `runtime` on `vcpus`.
+pub fn predict_time(model: &ModelProfile, runtime: &RuntimeProfile, vcpus: f64) -> SimDuration {
+    let speedup = amdahl_speedup(vcpus, model.parallel_fraction);
+    model
+        .reference_predict
+        .mul_f64(runtime.predict_factor / speedup)
+}
+
+/// First-prediction time on a freshly loaded model: the warm time plus the
+/// runtime's lazy-initialization penalty (paper Figure 10: cold-start
+/// predict ≫ warm predict).
+pub fn first_predict_time(
+    model: &ModelProfile,
+    runtime: &RuntimeProfile,
+    vcpus: f64,
+) -> SimDuration {
+    predict_time(model, runtime, vcpus) + runtime.lazy_init.mul_f64(1.0 / init_speedup(vcpus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeKind;
+    use crate::zoo::ModelKind;
+
+    #[test]
+    fn lambda_allocation_matches_docs() {
+        let a = CpuAllocation::AWS_LAMBDA;
+        assert!((a.vcpus(1769.0) - 1.0).abs() < 1e-12);
+        assert!((a.vcpus(2048.0) - 1.158).abs() < 0.01);
+        // Cap applies.
+        assert_eq!(a.vcpus(20_000.0), 6.0);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        // Fully serial: no speedup beyond 1 vCPU.
+        assert!((amdahl_speedup(8.0, 0.0) - 1.0).abs() < 1e-12);
+        // Fully parallel: linear.
+        assert!((amdahl_speedup(8.0, 1.0) - 8.0).abs() < 1e-12);
+        // Sub-vCPU shares slow down linearly.
+        assert!((amdahl_speedup(0.5, 0.9) - 0.5).abs() < 1e-12);
+        // Monotone in cores.
+        assert!(amdahl_speedup(4.0, 0.8) < amdahl_speedup(8.0, 0.8));
+    }
+
+    #[test]
+    fn predict_time_decreases_with_memory() {
+        let m = ModelKind::Vgg.profile();
+        let r = RuntimeKind::Tf115.profile();
+        let alloc = CpuAllocation::AWS_LAMBDA;
+        let at_2gb = predict_time(&m, &r, alloc.vcpus(2048.0));
+        let at_8gb = predict_time(&m, &r, alloc.vcpus(8192.0));
+        assert!(at_8gb < at_2gb, "more memory must be faster");
+    }
+
+    #[test]
+    fn mobilenet_warm_predict_matches_paper_at_2gb() {
+        // Section 5.2: warm predict at the default 2 GB is ~0.061 s (TF) and
+        // ~0.043 s (ORT) on GCP.
+        let m = ModelKind::MobileNet.profile();
+        let vcpus = CpuAllocation::GCP_FUNCTIONS.vcpus(2048.0);
+        let tf = predict_time(&m, &RuntimeKind::Tf115.profile(), vcpus).as_secs_f64();
+        let ort = predict_time(&m, &RuntimeKind::Ort14.profile(), vcpus).as_secs_f64();
+        assert!((tf - 0.061).abs() < 0.015, "TF predict {tf}");
+        assert!((ort - 0.043).abs() < 0.012, "ORT predict {ort}");
+    }
+
+    #[test]
+    fn init_speedup_scales_with_vcpus() {
+        assert!((init_speedup(1.0) - 1.0).abs() < 1e-12);
+        assert!(init_speedup(4.0) > init_speedup(2.0));
+        assert!(init_speedup(0.5) < 1.0);
+    }
+
+    #[test]
+    fn first_predict_lazy_penalty_shrinks_with_memory() {
+        let m = ModelKind::Vgg.profile();
+        let r = RuntimeKind::Tf115.profile();
+        let small = first_predict_time(&m, &r, 1.0) - predict_time(&m, &r, 1.0);
+        let big = first_predict_time(&m, &r, 4.0) - predict_time(&m, &r, 4.0);
+        assert!(big < small, "lazy init must speed up with vCPUs");
+    }
+
+    #[test]
+    fn first_predict_exceeds_warm() {
+        let m = ModelKind::MobileNet.profile();
+        let r = RuntimeKind::Tf115.profile();
+        assert!(first_predict_time(&m, &r, 1.0) > predict_time(&m, &r, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memory")]
+    fn zero_memory_panics() {
+        CpuAllocation::AWS_LAMBDA.vcpus(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_parallel_fraction_panics() {
+        amdahl_speedup(2.0, 1.5);
+    }
+}

@@ -1,0 +1,38 @@
+//! # slsb-model — models, serving runtimes, and calibration
+//!
+//! Static profiles of everything the paper deploys (Section 3, "Planner"):
+//!
+//! - [`zoo`] — MobileNet / ALBERT / VGG profiles (artifact size, inference
+//!   cost, Amdahl parallel fraction, GPU service time);
+//! - [`runtime`] — TensorFlow 1.15 vs OnnxRuntime 1.4 profiles (import
+//!   time, load time, predict factor, lazy-init penalty, image size);
+//! - [`compute`] — memory→vCPU allocation curves and inference-time scaling;
+//! - [`calibration`] — the single home of every constant, each anchored to a
+//!   number the paper reports, plus the paper's headline measurements as
+//!   [`calibration::anchors`] for calibration tests.
+//!
+//! ```
+//! use slsb_model::{predict_time, CpuAllocation, ModelKind, RuntimeKind};
+//!
+//! // MobileNet under TF1.15 on a 2 GB Cloud-Functions-style instance:
+//! // ~61 ms warm inference, the paper's Section 5.2 anchor.
+//! let vcpus = CpuAllocation::GCP_FUNCTIONS.vcpus(2048.0);
+//! let t = predict_time(
+//!     &ModelKind::MobileNet.profile(),
+//!     &RuntimeKind::Tf115.profile(),
+//!     vcpus,
+//! );
+//! assert!((t.as_secs_f64() - 0.061).abs() < 0.01);
+//! ```
+
+pub mod calibration;
+pub mod compute;
+pub mod runtime;
+pub mod zoo;
+
+pub use compute::{
+    amdahl_speedup, first_predict_time, init_speedup, predict_time, CpuAllocation,
+    INIT_PARALLEL_FRACTION,
+};
+pub use runtime::{RuntimeKind, RuntimeProfile};
+pub use zoo::{ModelKind, ModelProfile};

@@ -1,0 +1,134 @@
+//! Serving runtimes (paper Section 5.2).
+//!
+//! The paper compares TensorFlow 1.15 — the heavyweight common denominator
+//! across all eight systems — against OnnxRuntime 1.4, a lightweight runtime
+//! that slashes import and load time and executes inference faster. A
+//! [`RuntimeProfile`] captures those axes.
+
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimDuration;
+use std::fmt;
+
+/// The paper's two serving runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// TensorFlow 1.15 — the baseline runtime supported everywhere.
+    Tf115,
+    /// OnnxRuntime 1.4 — smaller and faster; serverless-only in the paper's
+    /// design-space study.
+    Ort14,
+}
+
+impl RuntimeKind {
+    /// Both runtimes, paper order.
+    pub const ALL: [RuntimeKind; 2] = [RuntimeKind::Tf115, RuntimeKind::Ort14];
+
+    /// The calibrated profile. See `calibration` for the anchors.
+    pub fn profile(self) -> RuntimeProfile {
+        crate::calibration::runtime_profile(self)
+    }
+}
+
+impl fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuntimeKind::Tf115 => "TF1.15",
+            RuntimeKind::Ort14 => "ORT1.4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a serving runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeProfile {
+    /// Display name.
+    pub name: String,
+    /// Time to import the runtime's Python dependencies on a cold instance.
+    /// The paper finds this sub-stage *dominates* TF cold starts (4–5 s,
+    /// Figure 10).
+    pub import_time: SimDuration,
+    /// Fixed component of loading a model into the runtime.
+    pub load_base: SimDuration,
+    /// Per-MB component of loading a model into the runtime.
+    pub load_per_mb: SimDuration,
+    /// Multiplier on a model's reference predict time (TF1.15 = 1.0;
+    /// ORT < 1 thanks to optimized kernels).
+    pub predict_factor: f64,
+    /// Extra latency of the *first* prediction on a freshly loaded model —
+    /// lazily initialized runtime components (the paper cites TF saved-model
+    /// warm-up guidance for this effect).
+    pub lazy_init: SimDuration,
+    /// Size of the runtime's share of the container image, in MB.
+    pub image_mb: f64,
+}
+
+impl RuntimeProfile {
+    /// Model load time for an artifact of `artifact_mb`.
+    pub fn load_time(&self, artifact_mb: f64) -> SimDuration {
+        assert!(
+            artifact_mb.is_finite() && artifact_mb >= 0.0,
+            "invalid artifact size: {artifact_mb}"
+        );
+        self.load_base + self.load_per_mb.mul_f64(artifact_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelKind;
+
+    #[test]
+    fn ort_is_lighter_than_tf_on_every_axis() {
+        let tf = RuntimeKind::Tf115.profile();
+        let ort = RuntimeKind::Ort14.profile();
+        assert!(ort.import_time < tf.import_time);
+        assert!(ort.image_mb < tf.image_mb);
+        assert!(ort.predict_factor < tf.predict_factor);
+        assert!(ort.lazy_init < tf.lazy_init);
+        let mb = ModelKind::MobileNet.profile().artifact_mb;
+        assert!(ort.load_time(mb) < tf.load_time(mb));
+    }
+
+    #[test]
+    fn tf_import_dominates_cold_start_per_paper() {
+        // Figure 10: import is 4–5 s on both clouds.
+        let tf = RuntimeKind::Tf115.profile();
+        let import = tf.import_time.as_secs_f64();
+        assert!((4.0..=5.0).contains(&import), "import {import}");
+    }
+
+    #[test]
+    fn load_time_grows_with_artifact() {
+        let tf = RuntimeKind::Tf115.profile();
+        let small = tf.load_time(16.0);
+        let large = tf.load_time(548.0);
+        assert!(large > small * 2);
+    }
+
+    #[test]
+    fn tf_predict_factor_is_unity() {
+        assert_eq!(RuntimeKind::Tf115.profile().predict_factor, 1.0);
+    }
+
+    #[test]
+    fn ort_predict_factor_matches_paper_ratio() {
+        // Section 5.2: MobileNet warm predict on GCP is 0.061 s (TF) vs
+        // 0.043 s (ORT) → factor ≈ 0.70.
+        let f = RuntimeKind::Ort14.profile().predict_factor;
+        assert!((f - 0.043 / 0.061).abs() < 0.03, "factor {f}");
+    }
+
+    #[test]
+    fn zero_artifact_load_is_base() {
+        let tf = RuntimeKind::Tf115.profile();
+        assert_eq!(tf.load_time(0.0), tf.load_base);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RuntimeKind::Tf115.to_string(), "TF1.15");
+        assert_eq!(RuntimeKind::Ort14.to_string(), "ORT1.4");
+    }
+}

@@ -1,0 +1,156 @@
+//! The model zoo: the paper's three models plus a custom-model escape hatch.
+//!
+//! A [`ModelProfile`] captures everything the simulators need to know about
+//! a model: artifact size (drives download/load time and the Lambda
+//! `/tmp`-limit rule), reference inference cost, how well inference
+//! parallelizes across vCPUs, and its GPU service time.
+
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimDuration;
+use std::fmt;
+
+/// The paper's evaluated models (Section 3, "Planner").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// MobileNet image classifier — small (16 MB) and fast.
+    MobileNet,
+    /// ALBERT NLP model — medium artifact (51.5 MB), heavier inference.
+    Albert,
+    /// VGG image classifier — large artifact (548 MB), heaviest inference.
+    Vgg,
+}
+
+impl ModelKind {
+    /// All three models in the paper's order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::MobileNet, ModelKind::Albert, ModelKind::Vgg];
+
+    /// The calibrated profile. See `calibration` for the anchors.
+    pub fn profile(self) -> ModelProfile {
+        crate::calibration::model_profile(self)
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::MobileNet => "MobileNet",
+            ModelKind::Albert => "ALBERT",
+            ModelKind::Vgg => "VGG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of a servable model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Display name.
+    pub name: String,
+    /// Serialized artifact size in MB (drives storage download and runtime
+    /// load times, and the Lambda 512 MB `/tmp` rule).
+    pub artifact_mb: f64,
+    /// Warm inference time for one sample on the reference configuration:
+    /// **one vCPU, TensorFlow 1.15**. Other runtimes/compute scale this.
+    pub reference_predict: SimDuration,
+    /// Fraction of inference work that parallelizes across vCPUs
+    /// (Amdahl's law).
+    pub parallel_fraction: f64,
+    /// Warm inference time for one sample on a Tesla-T4-class GPU.
+    pub gpu_predict: SimDuration,
+    /// Whether the model takes image payloads (vs. text).
+    pub image_input: bool,
+}
+
+impl ModelProfile {
+    /// Validates invariants; call after hand-constructing a custom profile.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("model name must not be empty".into());
+        }
+        if !(self.artifact_mb.is_finite() && self.artifact_mb > 0.0) {
+            return Err(format!("invalid artifact size: {}", self.artifact_mb));
+        }
+        if self.reference_predict.is_zero() {
+            return Err("reference predict time must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.parallel_fraction) {
+            return Err(format!(
+                "parallel fraction {} outside [0, 1]",
+                self.parallel_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_artifact_sizes() {
+        // Section 3: 16 MB / 51.5 MB / 548 MB (see DESIGN.md on the paper's
+        // transposed "respectively" — VGG is the 548 MB model, which is why
+        // it cannot be downloaded under Lambda's 512 MB /tmp limit).
+        assert_eq!(ModelKind::MobileNet.profile().artifact_mb, 16.0);
+        assert_eq!(ModelKind::Albert.profile().artifact_mb, 51.5);
+        assert_eq!(ModelKind::Vgg.profile().artifact_mb, 548.0);
+    }
+
+    #[test]
+    fn inference_cost_ordering() {
+        let mn = ModelKind::MobileNet.profile();
+        let al = ModelKind::Albert.profile();
+        let vgg = ModelKind::Vgg.profile();
+        assert!(mn.reference_predict < al.reference_predict);
+        assert!(al.reference_predict < vgg.reference_predict);
+        assert!(mn.gpu_predict < vgg.gpu_predict);
+    }
+
+    #[test]
+    fn gpu_is_much_faster_than_reference() {
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            assert!(
+                p.gpu_predict.as_secs_f64() * 10.0 < p.reference_predict.as_secs_f64(),
+                "{kind}: GPU should dominate single-vCPU inference"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_validate() {
+        for kind in ModelKind::ALL {
+            kind.profile().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_profiles() {
+        let mut p = ModelKind::MobileNet.profile();
+        p.artifact_mb = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = ModelKind::MobileNet.profile();
+        p.parallel_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = ModelKind::MobileNet.profile();
+        p.name.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn input_kinds() {
+        assert!(ModelKind::MobileNet.profile().image_input);
+        assert!(!ModelKind::Albert.profile().image_input);
+        assert!(ModelKind::Vgg.profile().image_input);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::Albert.to_string(), "ALBERT");
+        assert_eq!(ModelKind::Vgg.to_string(), "VGG");
+    }
+}

@@ -1,0 +1,376 @@
+//! The uniform interface the executor drives every platform through.
+
+use crate::billing::CostBreakdown;
+use crate::hybrid::{HybridConfig, HybridPlatform};
+use crate::managedml::{ManagedMlConfig, ManagedMlEvent, ManagedMlPlatform};
+use crate::request::{ServingRequest, ServingResponse};
+use crate::serverless::{ServerlessConfig, ServerlessEvent, ServerlessPlatform};
+use crate::vmserver::{VmEvent, VmServer, VmServerConfig};
+use slsb_sim::{GaugeSeries, Seed, SimDuration, SimTime};
+
+/// Union of every platform family's internal events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformEvent {
+    /// Serverless platform event.
+    Serverless(ServerlessEvent),
+    /// Managed-ML endpoint event.
+    ManagedMl(ManagedMlEvent),
+    /// VM server event.
+    Vm(VmEvent),
+    /// VM-side event of a hybrid deployment.
+    HybridVm(VmEvent),
+    /// Serverless-side event of a hybrid deployment.
+    HybridServerless(ServerlessEvent),
+}
+
+/// Write-side of the event queue handed to a platform while it handles an
+/// arrival or one of its own events. Collects `(delay, event)` pairs; the
+/// caller transfers them onto its real queue afterwards.
+pub struct PlatformScheduler<'a> {
+    now: SimTime,
+    out: &'a mut Vec<(SimDuration, PlatformEvent)>,
+}
+
+impl<'a> PlatformScheduler<'a> {
+    /// A scheduler at virtual time `now` writing into `out`.
+    pub fn new(now: SimTime, out: &'a mut Vec<(SimDuration, PlatformEvent)>) -> Self {
+        PlatformScheduler { now, out }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `ev` to fire `delay` from now.
+    pub fn schedule(&mut self, delay: SimDuration, ev: PlatformEvent) {
+        self.out.push((delay, ev));
+    }
+}
+
+/// End-of-run accounting a platform hands to the analyzer.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// Total cost, split into components.
+    pub cost: CostBreakdown,
+    /// Instance-count gauge over the run (the paper's Figures 7 and 11).
+    pub instances: GaugeSeries,
+    /// Instances that went through a cold-start pipeline (serverless only).
+    pub cold_started: u64,
+    /// Billed invocations (serverless only).
+    pub invocations: u64,
+    /// Seconds instances spent executing handlers/requests.
+    pub busy_seconds: f64,
+    /// Seconds of instance existence (provisioning and idle included).
+    pub instance_seconds: f64,
+}
+
+impl PlatformReport {
+    /// Fraction of instance lifetime spent doing useful work — the inverse
+    /// of the over-provisioning waste the paper's Section 6 first research
+    /// challenge targets. `None` when no instance time was recorded.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.instance_seconds > 0.0).then(|| (self.busy_seconds / self.instance_seconds).min(1.0))
+    }
+}
+
+/// Any of the simulated serving systems, behind one dispatching interface.
+pub enum Platform {
+    /// Lambda / Cloud Functions.
+    Serverless(Box<ServerlessPlatform>),
+    /// SageMaker / AI Platform.
+    ManagedMl(Box<ManagedMlPlatform>),
+    /// EC2 / GCE CPU or GPU box.
+    Vm(Box<VmServer>),
+    /// MArk-style hybrid: rented VM plus serverless spillover.
+    Hybrid(Box<HybridPlatform>),
+}
+
+impl Platform {
+    /// Builds a serverless platform.
+    pub fn serverless(cfg: ServerlessConfig, seed: Seed) -> Platform {
+        Platform::Serverless(Box::new(ServerlessPlatform::new(cfg, seed)))
+    }
+
+    /// Builds a managed-ML endpoint.
+    pub fn managedml(cfg: ManagedMlConfig, seed: Seed) -> Platform {
+        Platform::ManagedMl(Box::new(ManagedMlPlatform::new(cfg, seed)))
+    }
+
+    /// Builds a VM server.
+    pub fn vm(cfg: VmServerConfig, seed: Seed) -> Platform {
+        Platform::Vm(Box::new(VmServer::new(cfg, seed)))
+    }
+
+    /// Builds a hybrid (VM + serverless spillover) deployment.
+    pub fn hybrid(cfg: HybridConfig, seed: Seed) -> Platform {
+        Platform::Hybrid(Box::new(HybridPlatform::new(cfg, seed)))
+    }
+
+    /// One-time startup (pre-warming, billing spans, scaler loops).
+    /// `horizon` is the end of the workload; platforms with periodic
+    /// internal events stop self-scheduling past it.
+    pub fn start(&mut self, sched: &mut PlatformScheduler<'_>, horizon: SimTime) {
+        match self {
+            Platform::Serverless(p) => p.start(sched),
+            Platform::ManagedMl(p) => p.start(sched, horizon),
+            Platform::Vm(p) => p.start(sched),
+            Platform::Hybrid(p) => p.start(sched),
+        }
+    }
+
+    /// Delivers an arriving request.
+    pub fn submit(&mut self, sched: &mut PlatformScheduler<'_>, req: ServingRequest) {
+        match self {
+            Platform::Serverless(p) => p.submit(sched, req),
+            Platform::ManagedMl(p) => p.submit(sched, req),
+            Platform::Vm(p) => p.submit(sched, req),
+            Platform::Hybrid(p) => p.submit(sched, req),
+        }
+    }
+
+    /// Delivers one of the platform's own events.
+    ///
+    /// # Panics
+    /// Panics if the event belongs to a different platform family — that is
+    /// a wiring bug in the executor.
+    pub fn handle(&mut self, sched: &mut PlatformScheduler<'_>, ev: PlatformEvent) {
+        match (self, ev) {
+            (Platform::Serverless(p), PlatformEvent::Serverless(e)) => p.handle(sched, e),
+            (Platform::ManagedMl(p), PlatformEvent::ManagedMl(e)) => p.handle(sched, e),
+            (Platform::Vm(p), PlatformEvent::Vm(e)) => p.handle(sched, e),
+            (Platform::Hybrid(p), PlatformEvent::HybridVm(e)) => p.handle_vm(sched, e),
+            (Platform::Hybrid(p), PlatformEvent::HybridServerless(e)) => {
+                p.handle_serverless(sched, e)
+            }
+            _ => panic!("platform event routed to the wrong platform"),
+        }
+    }
+
+    /// Responses completed since the last drain.
+    pub fn drain_responses(&mut self) -> Vec<ServingResponse> {
+        match self {
+            Platform::Serverless(p) => p.drain_responses(),
+            Platform::ManagedMl(p) => p.drain_responses(),
+            Platform::Vm(p) => p.drain_responses(),
+            Platform::Hybrid(p) => p.drain_responses(),
+        }
+    }
+
+    /// Closes billing at the end of the run.
+    pub fn finalize(&mut self, now: SimTime) {
+        match self {
+            Platform::Serverless(p) => p.finalize(now),
+            Platform::ManagedMl(p) => p.finalize(now),
+            Platform::Vm(p) => p.finalize(now),
+            Platform::Hybrid(p) => p.finalize(now),
+        }
+    }
+
+    /// Cost and instance accounting.
+    pub fn report(&self) -> PlatformReport {
+        match self {
+            Platform::Serverless(p) => p.report(),
+            Platform::ManagedMl(p) => p.report(),
+            Platform::Vm(p) => p.report(),
+            Platform::Hybrid(p) => p.report(),
+        }
+    }
+}
+
+/// A minimal single-platform driver used by unit tests (the production
+/// executor lives in `slsb-core` and adds clients, network, timeouts, and
+/// analysis).
+pub mod test_harness {
+    use super::*;
+    use slsb_sim::{Engine, EventQueue, System};
+
+    enum HarnessEvent {
+        Start,
+        Arrival(ServingRequest),
+        Platform(PlatformEvent),
+    }
+
+    struct HarnessSystem {
+        platform: Platform,
+        started: bool,
+        horizon: SimTime,
+        responses: Vec<ServingResponse>,
+        buffer: Vec<(SimDuration, PlatformEvent)>,
+    }
+
+    impl HarnessSystem {
+        fn with_platform<R>(
+            &mut self,
+            queue: &mut EventQueue<HarnessEvent>,
+            f: impl FnOnce(&mut Platform, &mut PlatformScheduler<'_>) -> R,
+        ) -> R {
+            let mut sched = PlatformScheduler::new(queue.now(), &mut self.buffer);
+            let r = f(&mut self.platform, &mut sched);
+            for (d, e) in self.buffer.drain(..) {
+                queue.schedule_after(d, HarnessEvent::Platform(e));
+            }
+            self.responses.extend(self.platform.drain_responses());
+            r
+        }
+    }
+
+    impl System for HarnessSystem {
+        type Ev = HarnessEvent;
+        fn handle(&mut self, queue: &mut EventQueue<HarnessEvent>, _at: SimTime, ev: HarnessEvent) {
+            if !self.started {
+                self.started = true;
+                let horizon = self.horizon;
+                self.with_platform(queue, |p, s| p.start(s, horizon));
+            }
+            match ev {
+                HarnessEvent::Start => {}
+                HarnessEvent::Arrival(req) => {
+                    self.with_platform(queue, |p, s| p.submit(s, req));
+                }
+                HarnessEvent::Platform(e) => {
+                    self.with_platform(queue, |p, s| p.handle(s, e));
+                }
+            }
+        }
+    }
+
+    /// Drives one platform with hand-placed arrivals.
+    pub struct PlatformHarness {
+        engine: Engine<HarnessSystem>,
+    }
+
+    impl PlatformHarness {
+        fn new(platform: Platform) -> Self {
+            let mut engine = Engine::new(HarnessSystem {
+                platform,
+                started: false,
+                horizon: SimTime::from_secs_f64(3600.0),
+                responses: Vec::new(),
+                buffer: Vec::new(),
+            });
+            // Start the platform at the epoch so billing spans and scaler
+            // loops begin at t = 0 regardless of the first arrival's time.
+            engine.queue.schedule_at(SimTime::ZERO, HarnessEvent::Start);
+            PlatformHarness { engine }
+        }
+
+        /// Harness around a serverless platform.
+        pub fn serverless(cfg: ServerlessConfig, seed: Seed) -> Self {
+            Self::new(Platform::serverless(cfg, seed))
+        }
+
+        /// Harness around a managed-ML endpoint.
+        pub fn managedml(cfg: ManagedMlConfig, seed: Seed) -> Self {
+            Self::new(Platform::managedml(cfg, seed))
+        }
+
+        /// Harness around a VM server.
+        pub fn vm(cfg: VmServerConfig, seed: Seed) -> Self {
+            Self::new(Platform::vm(cfg, seed))
+        }
+
+        /// Harness around a hybrid deployment.
+        pub fn hybrid(cfg: HybridConfig, seed: Seed) -> Self {
+            Self::new(Platform::hybrid(cfg, seed))
+        }
+
+        /// Queues an arrival at `at_secs`.
+        pub fn submit_at(&mut self, at_secs: f64, req: ServingRequest) {
+            self.engine
+                .queue
+                .schedule_at(SimTime::from_secs_f64(at_secs), HarnessEvent::Arrival(req));
+        }
+
+        /// Runs until the queue drains; returns all responses so far.
+        pub fn run(&mut self) -> Vec<ServingResponse> {
+            self.engine.run_to_completion();
+            self.engine.system.responses.clone()
+        }
+
+        /// Runs until `horizon_secs` and advances the clock there; returns
+        /// all responses so far.
+        pub fn run_until(&mut self, horizon_secs: f64) -> Vec<ServingResponse> {
+            let horizon = SimTime::from_secs_f64(horizon_secs);
+            self.engine.run_until(horizon);
+            self.engine.queue.advance_to(horizon);
+            self.engine.system.responses.clone()
+        }
+
+        /// Finalizes billing at the current virtual time and reports.
+        pub fn finalize_report(&mut self) -> PlatformReport {
+            let now = self.engine.now();
+            self.engine.system.platform.finalize(now);
+            self.engine.system.platform.report()
+        }
+
+        /// The wrapped serverless platform.
+        ///
+        /// # Panics
+        /// Panics when the harness wraps a different family.
+        pub fn platform_serverless(&self) -> &ServerlessPlatform {
+            match &self.engine.system.platform {
+                Platform::Serverless(p) => p,
+                _ => panic!("not a serverless harness"),
+            }
+        }
+
+        /// The wrapped managed-ML platform.
+        ///
+        /// # Panics
+        /// Panics when the harness wraps a different family.
+        pub fn platform_managedml(&self) -> &ManagedMlPlatform {
+            match &self.engine.system.platform {
+                Platform::ManagedMl(p) => p,
+                _ => panic!("not a managed-ML harness"),
+            }
+        }
+
+        /// The wrapped hybrid platform.
+        ///
+        /// # Panics
+        /// Panics when the harness wraps a different family.
+        pub fn platform_hybrid(&self) -> &HybridPlatform {
+            match &self.engine.system.platform {
+                Platform::Hybrid(p) => p,
+                _ => panic!("not a hybrid harness"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_model::{ModelKind, RuntimeKind};
+    use slsb_sim::Seed;
+
+    #[test]
+    #[should_panic(expected = "wrong platform")]
+    fn cross_family_event_panics() {
+        let cfg = VmServerConfig::cpu(
+            crate::provider::CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut p = Platform::vm(cfg, Seed(1));
+        let mut buf = Vec::new();
+        let mut sched = PlatformScheduler::new(SimTime::ZERO, &mut buf);
+        p.handle(
+            &mut sched,
+            PlatformEvent::Serverless(ServerlessEvent::InstanceReady(0)),
+        );
+    }
+
+    #[test]
+    fn scheduler_collects_events() {
+        let mut buf = Vec::new();
+        let mut sched = PlatformScheduler::new(SimTime::from_secs_f64(5.0), &mut buf);
+        assert_eq!(sched.now(), SimTime::from_secs_f64(5.0));
+        sched.schedule(
+            SimDuration::from_secs(1),
+            PlatformEvent::Vm(VmEvent::HandlerDone(0)),
+        );
+        assert_eq!(buf.len(), 1);
+    }
+}

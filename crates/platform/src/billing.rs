@@ -1,0 +1,420 @@
+//! Billing: money, price sheets, and cost meters.
+//!
+//! Costs accrue in integer micro-dollars exactly the way providers meter:
+//! Lambda bills GB-seconds quantized to 1 ms plus a per-invocation fee;
+//! Cloud Functions bills per 100 ms rounded **up** plus a (pricier)
+//! per-invocation fee; VMs and managed-ML endpoints bill instance-seconds
+//! at an hourly rate. Rates are 2021 price sheets, consistent with the
+//! paper's Table 1 (see DESIGN.md §5).
+
+use crate::provider::CloudProvider;
+use serde::{Deserialize, Serialize};
+use slsb_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An amount of money in integer micro-dollars.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// From a dollar amount.
+    ///
+    /// # Panics
+    /// Panics if `dollars` is not finite.
+    pub fn from_dollars(dollars: f64) -> Money {
+        assert!(dollars.is_finite(), "invalid dollar amount: {dollars}");
+        Money((dollars * 1e6).round() as i64)
+    }
+
+    /// From integer micro-dollars.
+    pub const fn from_micro_dollars(ud: i64) -> Money {
+        Money(ud)
+    }
+
+    /// As fractional dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw micro-dollars.
+    pub const fn as_micro_dollars(self) -> i64 {
+        self.0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.3}", self.as_dollars())
+    }
+}
+
+/// Cost of one experiment, split the way the paper discusses it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Duration-based compute charges (GB-seconds or instance-seconds).
+    pub compute: Money,
+    /// Per-invocation fees (serverless only).
+    pub invocations: Money,
+    /// Provisioned-concurrency reservation charges (Lambda only).
+    pub provisioned: Money,
+}
+
+impl CostBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> Money {
+        self.compute + self.invocations + self.provisioned
+    }
+}
+
+/// Serverless price sheet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerlessPricing {
+    /// Dollars per GB-second of billed duration.
+    pub per_gb_second: f64,
+    /// Dollars per million invocations.
+    pub per_million_invocations: f64,
+    /// Billed duration is rounded up to this quantum.
+    pub billing_quantum: SimDuration,
+    /// Dollars per GB-second of *reserved* provisioned concurrency
+    /// (zero when the platform has no such feature).
+    pub provisioned_per_gb_second: f64,
+    /// Dollars per GB-second of billed duration on provisioned instances
+    /// (Lambda discounts duration on provisioned capacity).
+    pub provisioned_duration_per_gb_second: f64,
+}
+
+impl ServerlessPricing {
+    /// AWS Lambda, 2021 us-east-1.
+    pub const AWS_LAMBDA: ServerlessPricing = ServerlessPricing {
+        per_gb_second: 1.666_67e-5,
+        per_million_invocations: 0.20,
+        billing_quantum: SimDuration::from_millis(1),
+        provisioned_per_gb_second: 4.166_7e-6,
+        provisioned_duration_per_gb_second: 9.722_2e-6,
+    };
+
+    /// Google Cloud Functions, 2021 (the 2 GB tier's $2.9e-5/s flattened to
+    /// a per-GB-second rate; billing rounds up to 100 ms).
+    pub const GCP_FUNCTIONS: ServerlessPricing = ServerlessPricing {
+        per_gb_second: 1.45e-5,
+        per_million_invocations: 0.40,
+        billing_quantum: SimDuration::from_millis(100),
+        provisioned_per_gb_second: 0.0,
+        provisioned_duration_per_gb_second: 1.45e-5,
+    };
+
+    /// The sheet for a provider.
+    pub fn for_provider(provider: CloudProvider) -> ServerlessPricing {
+        match provider {
+            CloudProvider::Aws => ServerlessPricing::AWS_LAMBDA,
+            CloudProvider::Gcp => ServerlessPricing::GCP_FUNCTIONS,
+        }
+    }
+}
+
+/// Accumulates serverless charges over a run.
+#[derive(Debug, Clone)]
+pub struct ServerlessMeter {
+    pricing: ServerlessPricing,
+    memory_gb: f64,
+    invocations: u64,
+    on_demand_gb_seconds: f64,
+    provisioned_gb_seconds: f64,
+    reserved_gb_seconds: f64,
+}
+
+impl ServerlessMeter {
+    /// A meter for functions configured with `memory_gb` of memory.
+    ///
+    /// # Panics
+    /// Panics if `memory_gb` is not strictly positive.
+    pub fn new(pricing: ServerlessPricing, memory_gb: f64) -> Self {
+        assert!(
+            memory_gb.is_finite() && memory_gb > 0.0,
+            "invalid memory: {memory_gb}"
+        );
+        ServerlessMeter {
+            pricing,
+            memory_gb,
+            invocations: 0,
+            on_demand_gb_seconds: 0.0,
+            provisioned_gb_seconds: 0.0,
+            reserved_gb_seconds: 0.0,
+        }
+    }
+
+    /// Records one invocation whose handler ran for `duration`, on either an
+    /// on-demand or a provisioned instance.
+    pub fn record_invocation(&mut self, duration: SimDuration, on_provisioned: bool) {
+        self.invocations += 1;
+        let billed = duration.round_up_to(self.pricing.billing_quantum);
+        let gbs = billed.as_secs_f64() * self.memory_gb;
+        if on_provisioned {
+            self.provisioned_gb_seconds += gbs;
+        } else {
+            self.on_demand_gb_seconds += gbs;
+        }
+    }
+
+    /// Records billable instance-initialization work (platforms that charge
+    /// for init, like Cloud Functions' in-first-request imports).
+    pub fn record_init(&mut self, duration: SimDuration) {
+        let billed = duration.round_up_to(self.pricing.billing_quantum);
+        self.on_demand_gb_seconds += billed.as_secs_f64() * self.memory_gb;
+    }
+
+    /// Records a provisioned-concurrency reservation of `instances` for
+    /// `span`.
+    pub fn record_reservation(&mut self, instances: u32, span: SimDuration) {
+        self.reserved_gb_seconds += f64::from(instances) * span.as_secs_f64() * self.memory_gb;
+    }
+
+    /// Number of invocations recorded.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Current total.
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            compute: Money::from_dollars(
+                self.on_demand_gb_seconds * self.pricing.per_gb_second
+                    + self.provisioned_gb_seconds * self.pricing.provisioned_duration_per_gb_second,
+            ),
+            invocations: Money::from_dollars(
+                self.invocations as f64 * self.pricing.per_million_invocations / 1e6,
+            ),
+            provisioned: Money::from_dollars(
+                self.reserved_gb_seconds * self.pricing.provisioned_per_gb_second,
+            ),
+        }
+    }
+}
+
+/// Hourly price sheet for rented instances (VMs, managed-ML endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstancePricing {
+    /// Dollars per instance-hour.
+    pub hourly_rate: f64,
+}
+
+impl InstancePricing {
+    /// SageMaker ml.m4.2xlarge (8 vCPU, 32 GB), 2021.
+    pub const SAGEMAKER_M4_2XLARGE: InstancePricing = InstancePricing { hourly_rate: 0.538 };
+    /// AI Platform n1-standard-8 online-prediction node, 2021.
+    pub const AI_PLATFORM_N1_STANDARD_8: InstancePricing = InstancePricing { hourly_rate: 0.45 };
+    /// EC2 m5.2xlarge (8 vCPU, 32 GB), 2021.
+    pub const EC2_M5_2XLARGE: InstancePricing = InstancePricing { hourly_rate: 0.384 };
+    /// GCE n1-standard-8 (8 vCPU, 30 GB), 2021.
+    pub const GCE_N1_STANDARD_8: InstancePricing = InstancePricing { hourly_rate: 0.39 };
+    /// EC2 g4dn.2xlarge (8 vCPU + Tesla T4), 2021.
+    pub const EC2_G4DN_2XLARGE: InstancePricing = InstancePricing { hourly_rate: 0.752 };
+    /// GCE n1-standard-8 + Tesla T4, 2021.
+    pub const GCE_N1_STANDARD_8_T4: InstancePricing = InstancePricing { hourly_rate: 0.74 };
+}
+
+/// Accumulates instance-time charges: open a span when an instance starts
+/// being billed, close it when it is released.
+#[derive(Debug, Clone)]
+pub struct InstanceMeter {
+    pricing: InstancePricing,
+    open: BTreeMap<u64, SimTime>,
+    billed_seconds: f64,
+}
+
+impl InstanceMeter {
+    /// A meter with no open spans.
+    pub fn new(pricing: InstancePricing) -> Self {
+        InstanceMeter {
+            pricing,
+            open: BTreeMap::new(),
+            billed_seconds: 0.0,
+        }
+    }
+
+    /// Starts billing instance `id` at `at`.
+    ///
+    /// # Panics
+    /// Panics if `id` is already open.
+    pub fn open(&mut self, id: u64, at: SimTime) {
+        let prev = self.open.insert(id, at);
+        assert!(prev.is_none(), "instance {id} already billing");
+    }
+
+    /// Stops billing instance `id` at `at`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not open.
+    pub fn close(&mut self, id: u64, at: SimTime) {
+        let start = self.open.remove(&id).expect("closing unopened instance");
+        self.billed_seconds += at.duration_since(start).as_secs_f64();
+    }
+
+    /// Closes every open span at `at` (end of the experiment).
+    pub fn finalize(&mut self, at: SimTime) {
+        let ids: Vec<u64> = self.open.keys().copied().collect();
+        for id in ids {
+            self.close(id, at);
+        }
+    }
+
+    /// Total billed instance-seconds so far (open spans excluded).
+    pub fn billed_seconds(&self) -> f64 {
+        self.billed_seconds
+    }
+
+    /// Current total.
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            compute: Money::from_dollars(self.billed_seconds / 3600.0 * self.pricing.hourly_rate),
+            invocations: Money::ZERO,
+            provisioned: Money::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn money_roundtrip_and_display() {
+        let m = Money::from_dollars(0.186);
+        assert!((m.as_dollars() - 0.186).abs() < 1e-9);
+        assert_eq!(m.to_string(), "$0.186");
+        assert_eq!(Money::ZERO + m, m);
+        let sum: Money = [m, m].into_iter().sum();
+        assert_eq!(sum, Money::from_dollars(0.372));
+    }
+
+    #[test]
+    fn lambda_invoice_hand_computed() {
+        // 1M invocations of exactly 100 ms at 2 GB:
+        // duration: 1e6 × 0.1 s × 2 GB × $1.66667e-5 = $3333.34
+        // invocations: $0.20
+        let mut m = ServerlessMeter::new(ServerlessPricing::AWS_LAMBDA, 2.0);
+        for _ in 0..1000 {
+            m.record_invocation(SimDuration::from_millis(100), false);
+        }
+        let b = m.breakdown();
+        assert!((b.compute.as_dollars() - 1000.0 * 0.1 * 2.0 * 1.666_67e-5).abs() < 1e-6);
+        assert!((b.invocations.as_dollars() - 1000.0 * 0.20 / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcp_rounds_up_to_100ms() {
+        let mut m = ServerlessMeter::new(ServerlessPricing::GCP_FUNCTIONS, 2.0);
+        for _ in 0..1000 {
+            m.record_invocation(SimDuration::from_millis(1), false);
+        }
+        let b = m.breakdown();
+        // Each 1 ms invocation bills as 100 ms: 0.1 s × 2 GB × 1.45e-5.
+        assert!((b.compute.as_dollars() - 1000.0 * 0.1 * 2.0 * 1.45e-5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aws_quantum_is_fine_grained() {
+        let mut m = ServerlessMeter::new(ServerlessPricing::AWS_LAMBDA, 2.0);
+        for _ in 0..1000 {
+            m.record_invocation(SimDuration::from_micros(1_500), false);
+        }
+        // Each 1.5 ms invocation bills as 2 ms (Money rounds to whole
+        // micro-dollars, hence the 1e-6 tolerance).
+        let b = m.breakdown();
+        assert!((b.compute.as_dollars() - 1000.0 * 0.002 * 2.0 * 1.666_67e-5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn provisioned_duration_is_discounted() {
+        let mut on_demand = ServerlessMeter::new(ServerlessPricing::AWS_LAMBDA, 2.0);
+        let mut provisioned = ServerlessMeter::new(ServerlessPricing::AWS_LAMBDA, 2.0);
+        on_demand.record_invocation(SimDuration::from_secs(1), false);
+        provisioned.record_invocation(SimDuration::from_secs(1), true);
+        assert!(provisioned.breakdown().compute < on_demand.breakdown().compute);
+    }
+
+    #[test]
+    fn reservation_charges_accrue() {
+        let mut m = ServerlessMeter::new(ServerlessPricing::AWS_LAMBDA, 2.0);
+        m.record_reservation(8, SimDuration::from_secs(900));
+        let b = m.breakdown();
+        // 8 × 900 s × 2 GB × $4.1667e-6 ≈ $0.060.
+        assert!((b.provisioned.as_dollars() - 8.0 * 900.0 * 2.0 * 4.166_7e-6).abs() < 1e-6);
+        assert_eq!(b.compute, Money::ZERO);
+    }
+
+    #[test]
+    fn instance_meter_spans() {
+        let mut m = InstanceMeter::new(InstancePricing::EC2_M5_2XLARGE);
+        m.open(1, SimTime::ZERO);
+        m.open(2, SimTime::from_secs_f64(100.0));
+        m.close(1, SimTime::from_secs_f64(900.0));
+        m.finalize(SimTime::from_secs_f64(900.0));
+        assert!((m.billed_seconds() - (900.0 + 800.0)).abs() < 1e-9);
+        // 1700 s at $0.384/h.
+        let b = m.breakdown();
+        assert!((b.total().as_dollars() - 1700.0 / 3600.0 * 0.384).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_server_15min_matches_table1() {
+        // Table 1: AWS-CPU ≈ $0.089–0.092 for the ~15-minute workloads.
+        let mut m = InstanceMeter::new(InstancePricing::EC2_M5_2XLARGE);
+        m.open(1, SimTime::ZERO);
+        m.finalize(SimTime::from_secs_f64(850.0));
+        let d = m.breakdown().total().as_dollars();
+        assert!((0.080..=0.100).contains(&d), "cost {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already billing")]
+    fn double_open_panics() {
+        let mut m = InstanceMeter::new(InstancePricing::EC2_M5_2XLARGE);
+        m.open(1, SimTime::ZERO);
+        m.open(1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unopened")]
+    fn close_unopened_panics() {
+        let mut m = InstanceMeter::new(InstancePricing::EC2_M5_2XLARGE);
+        m.close(7, SimTime::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_sums() {
+        let b = CostBreakdown {
+            compute: Money::from_dollars(1.0),
+            invocations: Money::from_dollars(0.5),
+            provisioned: Money::from_dollars(0.25),
+        };
+        assert_eq!(b.total(), Money::from_dollars(1.75));
+    }
+}

@@ -1,0 +1,73 @@
+//! # slsb-platform — calibrated simulators of cloud model-serving systems
+//!
+//! Every system the paper measures, rebuilt as a discrete-event simulator
+//! (the substitution DESIGN.md documents):
+//!
+//! - [`serverless`] — Lambda / Cloud Functions: per-request instances,
+//!   cold-start pipeline, keep-alive, over-provisioning, provisioned
+//!   concurrency, GB-second billing;
+//! - [`managedml`] — SageMaker / AI Platform: bounded endpoint queue,
+//!   minutes-scale target-tracking autoscaler, instance-hour billing;
+//! - [`vmserver`] — self-rented CPU/GPU boxes: fixed capacity, bounded
+//!   backlog, wall-clock rental billing;
+//! - [`storage`] / [`network`] — S3/GCS downloads and client↔endpoint
+//!   transfer, calibrated from the paper's Figure 12;
+//! - [`billing`] — price sheets and meters (Table 1's cost model);
+//! - [`hybrid`] — MArk-style VM + serverless-spillover composition (the
+//!   paper's related-work direction, built as an extension);
+//! - [`presets`] — the eight evaluated systems behind [`PlatformKind`];
+//! - [`api`] — the uniform [`Platform`] interface the executor drives.
+//!
+//! ```
+//! use slsb_model::{ModelKind, RuntimeKind};
+//! use slsb_platform::api::test_harness::PlatformHarness;
+//! use slsb_platform::{CloudProvider, RequestId, ServerlessConfig, ServingRequest};
+//! use slsb_sim::{Seed, SimTime};
+//!
+//! // One request against a fresh Lambda-style function: it cold-starts
+//! // through boot → import → download → load → first predict.
+//! let cfg = ServerlessConfig::new(
+//!     CloudProvider::Aws,
+//!     ModelKind::MobileNet.profile(),
+//!     RuntimeKind::Tf115.profile(),
+//! );
+//! let mut harness = PlatformHarness::serverless(cfg, Seed(1));
+//! harness.submit_at(
+//!     0.0,
+//!     ServingRequest {
+//!         id: RequestId(0),
+//!         arrival: SimTime::ZERO,
+//!         payload_bytes: 120_000,
+//!         inferences: 1,
+//!     },
+//! );
+//! let responses = harness.run();
+//! assert!(responses[0].outcome.is_success());
+//! assert!(responses[0].cold_start.is_some());
+//! ```
+
+pub mod api;
+pub mod billing;
+pub mod hybrid;
+pub mod managedml;
+pub mod network;
+pub mod presets;
+pub mod provider;
+pub mod request;
+pub mod serverless;
+pub mod storage;
+pub mod vmserver;
+
+pub use api::{Platform, PlatformEvent, PlatformReport, PlatformScheduler};
+pub use billing::{CostBreakdown, InstancePricing, Money, ServerlessPricing};
+pub use hybrid::{HybridConfig, HybridPlatform, SpilloverPolicy};
+pub use managedml::{ManagedMlConfig, ManagedMlParams, ManagedMlPlatform};
+pub use network::NetworkProfile;
+pub use presets::{PlatformKind, LAMBDA_TMP_LIMIT_MB};
+pub use provider::CloudProvider;
+pub use request::{
+    ColdStartBreakdown, FailureReason, Outcome, RequestId, ServingRequest, ServingResponse,
+};
+pub use serverless::{ServerlessConfig, ServerlessParams, ServerlessPlatform};
+pub use storage::StorageProfile;
+pub use vmserver::{VmKind, VmServer, VmServerConfig};

@@ -1,0 +1,76 @@
+//! Client↔endpoint network model.
+//!
+//! The paper's Figure 12c shows payload size has only a minor effect on
+//! end-to-end latency — transfer is a small additive term. We model a
+//! round-trip latency plus bandwidth-limited payload transfer.
+
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimDuration;
+
+/// A simple latency + bandwidth network path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// One-way base latency.
+    pub one_way_latency: SimDuration,
+    /// Effective throughput in MB/s for payload transfer.
+    pub bandwidth_mb_per_sec: f64,
+}
+
+impl NetworkProfile {
+    /// The default client→cloud path used in the experiments: ~10 ms each
+    /// way, 50 MB/s effective throughput.
+    pub const DEFAULT: NetworkProfile = NetworkProfile {
+        one_way_latency: SimDuration::from_millis(10),
+        bandwidth_mb_per_sec: 50.0,
+    };
+
+    /// Time to push `bytes` one way (latency + transfer).
+    ///
+    /// # Panics
+    /// Panics if the configured bandwidth is not strictly positive.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        assert!(
+            self.bandwidth_mb_per_sec > 0.0,
+            "non-positive network bandwidth"
+        );
+        let transfer_secs = bytes as f64 / (self.bandwidth_mb_per_sec * 1e6);
+        self.one_way_latency + SimDuration::from_secs_f64(transfer_secs)
+    }
+
+    /// Time for a small (headers-only) response on the return path.
+    pub fn response_time(&self) -> SimDuration {
+        // Prediction responses are tiny (a label or a logit vector).
+        self.transfer_time(2_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_with_payload() {
+        let n = NetworkProfile::DEFAULT;
+        let small = n.transfer_time(1_000);
+        let big = n.transfer_time(10_000_000);
+        assert!(big > small);
+        // 10 MB at 50 MB/s = 0.2 s + 10 ms latency.
+        assert!((big.as_secs_f64() - 0.21).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_payload_costs_latency_only() {
+        let n = NetworkProfile::DEFAULT;
+        assert_eq!(n.transfer_time(0), n.one_way_latency);
+    }
+
+    #[test]
+    fn input_size_effect_is_minor_as_in_fig12c() {
+        // Packing 10× more samples into a request adds well under a second:
+        // the paper's takeaway that input size barely moves E2E latency.
+        let n = NetworkProfile::DEFAULT;
+        let one = n.transfer_time(120_000);
+        let ten = n.transfer_time(1_200_000);
+        assert!((ten - one).as_secs_f64() < 0.05);
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's eight evaluated systems as one-call presets.
+
+use crate::api::Platform;
+use crate::managedml::ManagedMlConfig;
+use crate::provider::CloudProvider;
+use crate::serverless::ServerlessConfig;
+use crate::vmserver::VmServerConfig;
+use serde::{Deserialize, Serialize};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_sim::Seed;
+use std::fmt;
+
+/// The eight systems of the paper's evaluation (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// AWS Lambda.
+    AwsServerless,
+    /// Google Cloud Functions.
+    GcpServerless,
+    /// AWS SageMaker.
+    AwsManagedMl,
+    /// Google AI Platform.
+    GcpManagedMl,
+    /// EC2 m5.2xlarge CPU server.
+    AwsCpu,
+    /// GCE n1-standard-8 CPU server.
+    GcpCpu,
+    /// EC2 g4dn.2xlarge GPU server.
+    AwsGpu,
+    /// GCE n1-standard-8 + Tesla T4 GPU server.
+    GcpGpu,
+}
+
+/// Lambda's temporary-directory quota: artifacts larger than this cannot be
+/// downloaded at cold-start time and must be baked into the image
+/// (Section 3, "Planner").
+pub const LAMBDA_TMP_LIMIT_MB: f64 = 512.0;
+
+impl PlatformKind {
+    /// All eight systems, paper order.
+    pub const ALL: [PlatformKind; 8] = [
+        PlatformKind::AwsServerless,
+        PlatformKind::GcpServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::GcpManagedMl,
+        PlatformKind::AwsCpu,
+        PlatformKind::GcpCpu,
+        PlatformKind::AwsGpu,
+        PlatformKind::GcpGpu,
+    ];
+
+    /// The hosting cloud.
+    pub fn provider(self) -> CloudProvider {
+        match self {
+            PlatformKind::AwsServerless
+            | PlatformKind::AwsManagedMl
+            | PlatformKind::AwsCpu
+            | PlatformKind::AwsGpu => CloudProvider::Aws,
+            PlatformKind::GcpServerless
+            | PlatformKind::GcpManagedMl
+            | PlatformKind::GcpCpu
+            | PlatformKind::GcpGpu => CloudProvider::Gcp,
+        }
+    }
+
+    /// True for Lambda / Cloud Functions.
+    pub fn is_serverless(self) -> bool {
+        matches!(
+            self,
+            PlatformKind::AwsServerless | PlatformKind::GcpServerless
+        )
+    }
+
+    /// True for SageMaker / AI Platform.
+    pub fn is_managed_ml(self) -> bool {
+        matches!(
+            self,
+            PlatformKind::AwsManagedMl | PlatformKind::GcpManagedMl
+        )
+    }
+
+    /// True for GPU boxes.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, PlatformKind::AwsGpu | PlatformKind::GcpGpu)
+    }
+
+    /// The paper's label, e.g. `"AWS-Serverless"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::AwsServerless => "AWS-Serverless",
+            PlatformKind::GcpServerless => "GCP-Serverless",
+            PlatformKind::AwsManagedMl => "AWS-ManagedML",
+            PlatformKind::GcpManagedMl => "GCP-ManagedML",
+            PlatformKind::AwsCpu => "AWS-CPU",
+            PlatformKind::GcpCpu => "GCP-CPU",
+            PlatformKind::AwsGpu => "AWS-GPU",
+            PlatformKind::GcpGpu => "GCP-GPU",
+        }
+    }
+
+    /// Builds the default-configured simulated system for `model` ×
+    /// `runtime`, applying the paper's packaging rules (VGG exceeds the
+    /// serverless `/tmp` quota and is baked into the image).
+    pub fn build(self, model: ModelKind, runtime: RuntimeKind, seed: Seed) -> Platform {
+        let m = model.profile();
+        let r = runtime.profile();
+        match self {
+            PlatformKind::AwsServerless | PlatformKind::GcpServerless => {
+                let mut cfg = ServerlessConfig::new(self.provider(), m, r);
+                if cfg.model.artifact_mb > LAMBDA_TMP_LIMIT_MB {
+                    cfg.bake_model_in_image = true;
+                }
+                Platform::serverless(cfg, seed)
+            }
+            PlatformKind::AwsManagedMl | PlatformKind::GcpManagedMl => {
+                Platform::managedml(ManagedMlConfig::new(self.provider(), m, r), seed)
+            }
+            PlatformKind::AwsCpu | PlatformKind::GcpCpu => {
+                Platform::vm(VmServerConfig::cpu(self.provider(), m, r), seed)
+            }
+            PlatformKind::AwsGpu | PlatformKind::GcpGpu => {
+                Platform::vm(VmServerConfig::gpu(self.provider(), m, r), seed)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn providers_and_labels() {
+        assert_eq!(PlatformKind::AwsServerless.provider(), CloudProvider::Aws);
+        assert_eq!(PlatformKind::GcpGpu.provider(), CloudProvider::Gcp);
+        assert_eq!(PlatformKind::AwsManagedMl.label(), "AWS-ManagedML");
+        assert_eq!(PlatformKind::GcpServerless.to_string(), "GCP-Serverless");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(PlatformKind::AwsServerless.is_serverless());
+        assert!(!PlatformKind::AwsCpu.is_serverless());
+        assert!(PlatformKind::GcpManagedMl.is_managed_ml());
+        assert!(PlatformKind::AwsGpu.is_gpu());
+        assert!(!PlatformKind::GcpCpu.is_gpu());
+    }
+
+    #[test]
+    fn vgg_is_baked_on_serverless() {
+        let p = PlatformKind::AwsServerless.build(ModelKind::Vgg, RuntimeKind::Tf115, Seed(1));
+        match p {
+            Platform::Serverless(p) => assert!(p.config().bake_model_in_image),
+            _ => panic!("expected serverless"),
+        }
+        let p = PlatformKind::AwsServerless.build(ModelKind::Albert, RuntimeKind::Tf115, Seed(1));
+        match p {
+            Platform::Serverless(p) => assert!(!p.config().bake_model_in_image),
+            _ => panic!("expected serverless"),
+        }
+    }
+
+    #[test]
+    fn all_eight_build() {
+        for kind in PlatformKind::ALL {
+            let _ = kind.build(ModelKind::MobileNet, RuntimeKind::Tf115, Seed(1));
+        }
+    }
+}

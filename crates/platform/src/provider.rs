@@ -1,0 +1,38 @@
+//! Cloud providers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two public clouds the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloudProvider {
+    /// Amazon Web Services (Lambda, SageMaker, EC2).
+    Aws,
+    /// Google Cloud Platform (Cloud Functions, AI Platform, GCE).
+    Gcp,
+}
+
+impl CloudProvider {
+    /// Both providers, paper order.
+    pub const ALL: [CloudProvider; 2] = [CloudProvider::Aws, CloudProvider::Gcp];
+}
+
+impl fmt::Display for CloudProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CloudProvider::Aws => "AWS",
+            CloudProvider::Gcp => "GCP",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CloudProvider::Aws.to_string(), "AWS");
+        assert_eq!(CloudProvider::Gcp.to_string(), "GCP");
+    }
+}

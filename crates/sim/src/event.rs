@@ -1,0 +1,317 @@
+//! Generic discrete-event queue and drive loop.
+//!
+//! The kernel is deliberately small: a [`System`] owns all domain state and
+//! handles its own event alphabet `System::Ev`; the [`Engine`] owns the
+//! clock and the pending-event heap and repeatedly hands the earliest event
+//! back to the system. Ties in time are broken by insertion order (FIFO),
+//! which both matches physical intuition and keeps runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event: fire `ev` at instant `at`.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top. Sequence number breaks ties FIFO.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Priority queue of future events plus the current virtual time.
+///
+/// Systems receive `&mut EventQueue` while handling an event so they can
+/// schedule follow-ups; scheduling into the past is a causality violation
+/// and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `ev` to fire at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {now}",
+            now = self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `ev` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, ev: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, ev);
+    }
+
+    /// Schedules `ev` to fire immediately (at the current time, after any
+    /// event already scheduled for this instant).
+    pub fn schedule_now(&mut self, ev: E) {
+        self.schedule_at(self.now, ev);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went back in time");
+        self.now = s.at;
+        Some((s.at, s.ev))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Advances the clock to `t` without delivering events — used to close
+    /// out a run at a horizon after the last event.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past or if an undelivered event precedes it.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to would rewind the clock");
+        if let Some(at) = self.peek_time() {
+            assert!(at >= t, "advance_to would skip a pending event");
+        }
+        self.now = t;
+    }
+}
+
+/// A simulated system: domain state plus an event handler.
+pub trait System {
+    /// The system's event alphabet.
+    type Ev;
+
+    /// Handles one event; may schedule follow-up events on `queue`.
+    fn handle(&mut self, queue: &mut EventQueue<Self::Ev>, at: SimTime, ev: Self::Ev);
+}
+
+/// Drives a [`System`] by repeatedly delivering the earliest pending event.
+pub struct Engine<S: System> {
+    /// The pending-event queue and clock. Public so callers can seed the
+    /// initial events before running.
+    pub queue: EventQueue<S::Ev>,
+    /// The domain state under simulation.
+    pub system: S,
+    events_processed: u64,
+}
+
+impl<S: System> Engine<S> {
+    /// Wraps `system` with an empty queue at the epoch.
+    pub fn new(system: S) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            system,
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the queue drains. Returns the number of events delivered
+    /// by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the next event would be strictly after
+    /// `horizon`. Events at exactly `horizon` are delivered. Returns the
+    /// number of events delivered by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut delivered = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+            self.system.handle(&mut self.queue, at, ev);
+            delivered += 1;
+            self.events_processed += 1;
+        }
+        delivered
+    }
+
+    /// Consumes the engine, returning the system for inspection.
+    pub fn into_system(self) -> S {
+        self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        chain_until: u32,
+    }
+
+    impl System for Recorder {
+        type Ev = u32;
+        fn handle(&mut self, queue: &mut EventQueue<u32>, at: SimTime, ev: u32) {
+            self.seen.push((at, ev));
+            if ev < self.chain_until {
+                queue.schedule_after(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            chain_until: 0,
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(recorder());
+        eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
+        eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        assert_eq!(eng.run_to_completion(), 3);
+        let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut eng = Engine::new(recorder());
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..100 {
+            eng.queue.schedule_at(t, i);
+        }
+        eng.run_to_completion();
+        let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut eng = Engine::new(Recorder {
+            seen: Vec::new(),
+            chain_until: 5,
+        });
+        eng.queue.schedule_at(SimTime::ZERO, 0);
+        eng.run_to_completion();
+        assert_eq!(eng.system.seen.len(), 6);
+        assert_eq!(eng.now(), SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn run_until_delivers_events_at_horizon_inclusive() {
+        let mut eng = Engine::new(recorder());
+        eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
+        eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
+        assert_eq!(eng.run_until(SimTime::from_secs_f64(2.0)), 2);
+        assert_eq!(eng.queue.len(), 1);
+        assert_eq!(eng.now(), SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_the_past_panics() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(5.0), 0);
+        q.pop();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 1);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_already_queued_same_instant_events() {
+        struct Inject {
+            seen: Vec<u32>,
+        }
+        impl System for Inject {
+            type Ev = u32;
+            fn handle(&mut self, queue: &mut EventQueue<u32>, _at: SimTime, ev: u32) {
+                self.seen.push(ev);
+                if ev == 0 {
+                    queue.schedule_now(99);
+                }
+            }
+        }
+        let mut eng = Engine::new(Inject { seen: Vec::new() });
+        eng.queue.schedule_at(SimTime::ZERO, 0);
+        eng.queue.schedule_at(SimTime::ZERO, 1);
+        eng.run_to_completion();
+        assert_eq!(eng.system.seen, vec![0, 1, 99]);
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic randomness with labelled substreams.
+//!
+//! Every experiment takes one `u64` seed. Components derive independent
+//! substreams from it by label (`seed.substream("clients")`,
+//! `seed.substream("coldstart")`, …) so that adding a random draw in one
+//! component never perturbs the sequence seen by another — a prerequisite
+//! for meaningful A/B comparisons between platform configurations.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Normal};
+
+/// An experiment seed from which component substreams are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Seed(pub u64);
+
+impl Seed {
+    /// Derives a child seed for the component named `label`.
+    ///
+    /// Uses FNV-1a over the label mixed with the parent seed via
+    /// SplitMix64-style finalization; labels that differ in any byte give
+    /// unrelated child seeds.
+    pub fn substream(self, label: &str) -> Seed {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET ^ self.0;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Seed(splitmix64(h))
+    }
+
+    /// Derives a child seed for the `index`-th member of a homogeneous group
+    /// (e.g. client #3).
+    pub fn substream_indexed(self, label: &str, index: u64) -> Seed {
+        Seed(splitmix64(self.substream(label).0 ^ splitmix64(index)))
+    }
+
+    /// Builds the RNG for this (sub)stream.
+    pub fn rng(self) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(self.0),
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded random source with samplers for the distributions the simulators
+/// use.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential inter-arrival sample with the given rate (events/sec).
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn exp_interval(&mut self, rate_per_sec: f64) -> SimDuration {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "invalid rate: {rate_per_sec}"
+        );
+        let d = Exp::new(rate_per_sec).expect("valid exp rate");
+        SimDuration::from_secs_f64(d.sample(&mut self.inner))
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exp_mean(&mut self, mean: SimDuration) -> SimDuration {
+        let m = mean.as_secs_f64();
+        if m <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        self.exp_interval(1.0 / m)
+    }
+
+    /// Log-normal duration around `median` with shape `sigma` (σ of the
+    /// underlying normal). Models service-time jitter: strictly positive,
+    /// right-skewed — the shape cloud latencies empirically follow.
+    pub fn lognormal(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        let m = median.as_secs_f64();
+        if m <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        if sigma <= 0.0 {
+            return median;
+        }
+        let d = LogNormal::new(m.ln(), sigma).expect("valid lognormal");
+        SimDuration::from_secs_f64(d.sample(&mut self.inner))
+    }
+
+    /// Normal duration clamped at zero. For mild symmetric jitter.
+    pub fn normal_clamped(&mut self, mean: SimDuration, std_dev: SimDuration) -> SimDuration {
+        let s = std_dev.as_secs_f64();
+        if s <= 0.0 {
+            return mean;
+        }
+        let d = Normal::new(mean.as_secs_f64(), s).expect("valid normal");
+        SimDuration::from_secs_f64(d.sample(&mut self.inner).max(0.0))
+    }
+
+    /// Uniform duration in `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        assert!(lo <= hi, "uniform_duration: lo > hi");
+        if lo == hi {
+            return lo;
+        }
+        SimDuration::from_micros(self.inner.random_range(lo.as_micros()..=hi.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Seed(42).rng();
+        let mut b = Seed(42).rng();
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_give_different_streams() {
+        let s = Seed(42);
+        let mut a = s.substream("clients").rng();
+        let mut b = s.substream("coldstart").rng();
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 2, "streams should be unrelated");
+    }
+
+    #[test]
+    fn substream_is_stable() {
+        // Guards reproducibility across refactors: the derivation is part of
+        // the observable contract.
+        assert_eq!(Seed(1).substream("x"), Seed(1).substream("x"));
+        assert_ne!(Seed(1).substream("x"), Seed(2).substream("x"));
+        assert_ne!(
+            Seed(1).substream_indexed("c", 0),
+            Seed(1).substream_indexed("c", 1)
+        );
+    }
+
+    #[test]
+    fn exp_interval_mean_is_inverse_rate() {
+        let mut rng = Seed(7).rng();
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exp_interval(4.0).as_secs_f64())
+            .sum::<f64>();
+        let mean = total / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean} should be ~0.25");
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_median() {
+        let mut rng = Seed(9).rng();
+        let median = SimDuration::from_millis(100);
+        let mut below = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if rng.lognormal(median, 0.3) < median {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "median fraction {frac}");
+    }
+
+    #[test]
+    fn degenerate_parameters_short_circuit() {
+        let mut rng = Seed(3).rng();
+        assert_eq!(rng.exp_mean(SimDuration::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            rng.lognormal(SimDuration::from_secs(1), 0.0),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            rng.normal_clamped(SimDuration::from_secs(1), SimDuration::ZERO),
+            SimDuration::from_secs(1)
+        );
+        let d = SimDuration::from_secs(2);
+        assert_eq!(rng.uniform_duration(d, d), d);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Seed(5).rng();
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = Seed(11).rng();
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,657 @@
+//! Streaming statistics used by the analyzer: scalar accumulators, exact
+//! percentile sets, time-bucketed series, and step-function gauges.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Welford-style streaming accumulator: count, mean, variance, min, max.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration observation in seconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Folds `other` into `self` (parallel Welford merge).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+/// Exact percentile computation over a retained sample set.
+///
+/// Retention is fine at benchmark scale (≤ ~10⁵ requests per run); the
+/// analyzer needs exact tail latencies, not sketches.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds a duration observation in seconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The `q`-th percentile (0–100) using nearest-rank interpolation, or
+    /// `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = (q / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (p50), or `None` when empty.
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Standard deviation (population), or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Immutable view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A fixed-bin linear histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "empty histogram range");
+        assert!(bins > 0, "zero histogram bins");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(bin_start, bin_end, count)` triples.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            (
+                self.lo + width * i as f64,
+                self.lo + width * (i + 1) as f64,
+                c,
+            )
+        })
+    }
+
+    /// Fraction of in-range observations at or below `x` (empirical CDF
+    /// evaluated at bin granularity; under/overflow included in the
+    /// denominator).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        for (start, end, c) in self.bins() {
+            let _ = start;
+            if end <= x {
+                acc += c;
+            }
+        }
+        if x >= self.hi {
+            acc += self.overflow;
+        }
+        acc as f64 / total as f64
+    }
+}
+
+/// Per-bucket statistics of a value observed over simulated time — e.g.
+/// "average latency of requests arriving in each 10 s window", the series
+/// plotted by the paper's timeline figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    buckets: Vec<Accumulator>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "zero bucket width");
+        TimeSeries {
+            bucket,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records observation `value` at instant `at`.
+    pub fn add(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_micros() / self.bucket.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, Accumulator::new);
+        }
+        self.buckets[idx].add(value);
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Iterates `(bucket_start, stats)` for every bucket, including empty
+    /// interior ones.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Accumulator)> + '_ {
+        self.buckets.iter().enumerate().map(move |(i, acc)| {
+            (
+                SimTime::from_micros(i as u64 * self.bucket.as_micros()),
+                acc,
+            )
+        })
+    }
+
+    /// Number of buckets (span of observations / bucket width, rounded up).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// A step-function gauge sampled over time — e.g. the number of running
+/// instances. Records every change and can report per-bucket maxima,
+/// matching how the paper plots instance counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaugeSeries {
+    /// `(instant, new_value)` change points, in nondecreasing time order.
+    points: Vec<(SimTime, i64)>,
+    current: i64,
+    peak: i64,
+}
+
+impl GaugeSeries {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        GaugeSeries::default()
+    }
+
+    /// Current value.
+    pub fn current(&self) -> i64 {
+        self.current
+    }
+
+    /// All-time maximum value.
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+
+    /// Applies a delta at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous change (gauges are recorded in
+    /// simulation order).
+    pub fn record_delta(&mut self, at: SimTime, delta: i64) {
+        self.record(at, self.current + delta);
+    }
+
+    /// Sets the value at instant `at`.
+    pub fn record(&mut self, at: SimTime, value: i64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "gauge recorded out of order");
+        }
+        self.current = value;
+        self.peak = self.peak.max(value);
+        self.points.push((at, value));
+    }
+
+    /// Value at instant `at` (the most recent change at or before `at`, or
+    /// zero before the first change).
+    pub fn value_at(&self, at: SimTime) -> i64 {
+        match self.points.binary_search_by(|&(t, _)| t.cmp(&at)) {
+            Ok(mut i) => {
+                // Several changes can share a timestamp; take the last.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == at {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Maximum value attained in `[start, start + width)`.
+    pub fn bucket_max(&self, start: SimTime, width: SimDuration) -> i64 {
+        let end = start + width;
+        let mut max = self.value_at(start);
+        for &(t, v) in &self.points {
+            if t >= start && t < end {
+                max = max.max(v);
+            }
+        }
+        max
+    }
+
+    /// Per-bucket maxima from time zero through the last change.
+    pub fn bucket_maxima(&self, width: SimDuration) -> Vec<(SimTime, i64)> {
+        let Some(&(last, _)) = self.points.last() else {
+            return Vec::new();
+        };
+        let n = last.as_micros() / width.as_micros() + 1;
+        (0..n)
+            .map(|i| {
+                let start = SimTime::from_micros(i * width.as_micros());
+                (start, self.bucket_max(start, width))
+            })
+            .collect()
+    }
+
+    /// Time-weighted average value over `[SimTime::ZERO, end]`.
+    pub fn time_weighted_mean(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_t = SimTime::ZERO;
+        let mut prev_v = 0i64;
+        for &(t, v) in &self.points {
+            if t > end {
+                break;
+            }
+            area += prev_v as f64 * t.duration_since(prev_t).as_secs_f64();
+            prev_t = t;
+            prev_v = v;
+        }
+        area += prev_v as f64 * end.saturating_duration_since(prev_t).as_secs_f64();
+        area / end.as_secs_f64()
+    }
+
+    /// The raw change points.
+    pub fn points(&self) -> &[(SimTime, i64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn accumulator_matches_hand_computed() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((a.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min().unwrap(), 2.0);
+        assert_eq!(a.max().unwrap(), 9.0);
+        assert!((a.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        let b = Accumulator::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Accumulator::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_accumulator_returns_none() {
+        let a = Accumulator::new();
+        assert!(a.mean().is_none());
+        assert!(a.std_dev().is_none());
+        assert!(a.min().is_none());
+        assert!(a.max().is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = SampleSet::new();
+        for x in [15.0, 20.0, 35.0, 40.0, 50.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(0.0), Some(15.0));
+        assert_eq!(s.percentile(100.0), Some(50.0));
+        assert_eq!(s.median(), Some(35.0));
+        // p25 = rank 1.0 exactly
+        assert_eq!(s.percentile(25.0), Some(20.0));
+        // p10 = rank 0.4 → 15 + 0.4*(20-15) = 17
+        assert!((s.percentile(10.0).unwrap() - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampleset_mean_std() {
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.mean(), Some(2.5));
+        assert!((s.std_dev().unwrap() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn empty_sampleset() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert!(s.mean().is_none());
+        assert!(s.percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn timeseries_buckets_observations() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(10));
+        ts.add(secs(1.0), 5.0);
+        ts.add(secs(9.9), 15.0);
+        ts.add(secs(25.0), 100.0);
+        assert_eq!(ts.len(), 3);
+        let v: Vec<_> = ts.iter().collect();
+        assert_eq!(v[0].1.mean(), Some(10.0));
+        assert!(v[1].1.is_empty());
+        assert_eq!(v[2].1.mean(), Some(100.0));
+        assert_eq!(v[2].0, secs(20.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        let bins: Vec<u64> = h.bins().map(|(_, _, c)| c).collect();
+        assert_eq!(bins, vec![2, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_cdf_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        let cdf_50 = h.cdf(50.0);
+        let cdf_90 = h.cdf(90.0);
+        assert!((cdf_50 - 0.5).abs() < 0.05);
+        assert!(cdf_50 < cdf_90);
+        assert!((h.cdf(100.0) - 1.0).abs() < 1e-12);
+        assert_eq!(h.cdf(-5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn histogram_bad_range_panics() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn gauge_value_at_and_peak() {
+        let mut g = GaugeSeries::new();
+        g.record_delta(secs(1.0), 2);
+        g.record_delta(secs(2.0), 3);
+        g.record_delta(secs(5.0), -4);
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.peak(), 5);
+        assert_eq!(g.value_at(SimTime::ZERO), 0);
+        assert_eq!(g.value_at(secs(1.5)), 2);
+        assert_eq!(g.value_at(secs(2.0)), 5);
+        assert_eq!(g.value_at(secs(10.0)), 1);
+    }
+
+    #[test]
+    fn gauge_same_instant_changes_take_last() {
+        let mut g = GaugeSeries::new();
+        g.record(secs(1.0), 1);
+        g.record(secs(1.0), 7);
+        assert_eq!(g.value_at(secs(1.0)), 7);
+    }
+
+    #[test]
+    fn gauge_bucket_maxima() {
+        let mut g = GaugeSeries::new();
+        g.record(secs(1.0), 4);
+        g.record(secs(3.0), 2);
+        g.record(secs(12.0), 9);
+        let m = g.bucket_maxima(SimDuration::from_secs(10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].1, 4);
+        assert_eq!(m[1].1, 9);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean() {
+        let mut g = GaugeSeries::new();
+        g.record(secs(0.0), 2);
+        g.record(secs(5.0), 4);
+        // 2 for 5s, 4 for 5s → mean 3 over [0, 10]
+        assert!((g.time_weighted_mean(secs(10.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn gauge_rejects_time_travel() {
+        let mut g = GaugeSeries::new();
+        g.record(secs(2.0), 1);
+        g.record(secs(1.0), 2);
+    }
+}

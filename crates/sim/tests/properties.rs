@@ -1,0 +1,144 @@
+//! Property-based tests for the simulation kernel's invariants.
+
+use proptest::prelude::*;
+use slsb_sim::event::{Engine, EventQueue, System};
+use slsb_sim::stats::{Accumulator, GaugeSeries, SampleSet};
+use slsb_sim::time::{SimDuration, SimTime};
+use slsb_sim::Seed;
+
+/// A system that records delivery order and timestamps.
+struct Collector {
+    delivered: Vec<(SimTime, u64)>,
+}
+
+impl System for Collector {
+    type Ev = u64;
+    fn handle(&mut self, _q: &mut EventQueue<u64>, at: SimTime, ev: u64) {
+        self.delivered.push((at, ev));
+    }
+}
+
+proptest! {
+    /// The clock never goes backwards, regardless of scheduling order.
+    #[test]
+    fn clock_is_monotone(times in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut eng = Engine::new(Collector { delivered: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            eng.queue.schedule_at(SimTime::from_micros(t), i as u64);
+        }
+        eng.run_to_completion();
+        let stamps: Vec<SimTime> = eng.system.delivered.iter().map(|&(t, _)| t).collect();
+        prop_assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(stamps.len(), times.len());
+    }
+
+    /// Events sharing a timestamp are delivered in insertion (FIFO) order.
+    #[test]
+    fn equal_timestamps_are_fifo(n in 1usize..100, t in 0u64..1_000_000) {
+        let mut eng = Engine::new(Collector { delivered: Vec::new() });
+        for i in 0..n {
+            eng.queue.schedule_at(SimTime::from_micros(t), i as u64);
+        }
+        eng.run_to_completion();
+        let ids: Vec<u64> = eng.system.delivered.iter().map(|&(_, e)| e).collect();
+        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// run_until(h) then run_to_completion delivers the same multiset of
+    /// events as a single run_to_completion.
+    #[test]
+    fn horizon_split_is_transparent(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        h in 0u64..1_000_000,
+    ) {
+        let mut a = Engine::new(Collector { delivered: Vec::new() });
+        let mut b = Engine::new(Collector { delivered: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            a.queue.schedule_at(SimTime::from_micros(t), i as u64);
+            b.queue.schedule_at(SimTime::from_micros(t), i as u64);
+        }
+        a.run_to_completion();
+        b.run_until(SimTime::from_micros(h));
+        b.run_to_completion();
+        prop_assert_eq!(a.system.delivered, b.system.delivered);
+    }
+
+    /// Accumulator mean always lies between min and max.
+    #[test]
+    fn accumulator_mean_bounded(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let mean = acc.mean().unwrap();
+        prop_assert!(acc.min().unwrap() <= mean + 1e-9);
+        prop_assert!(mean <= acc.max().unwrap() + 1e-9);
+        prop_assert!(acc.variance().unwrap() >= -1e-9);
+    }
+
+    /// Merging accumulators in any split equals sequential accumulation.
+    #[test]
+    fn accumulator_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split in 1usize..199,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = Accumulator::new();
+        for &x in &xs { whole.add(x); }
+        let (l, r) = xs.split_at(split);
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &x in l { a.add(x); }
+        for &x in r { b.add(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+        prop_assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-4);
+    }
+
+    /// Percentiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn percentiles_monotone(xs in prop::collection::vec(0f64..1e6, 1..200)) {
+        let mut s = SampleSet::new();
+        for &x in &xs { s.push(x); }
+        let qs = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+        let vals: Vec<f64> = qs.iter().map(|&q| s.percentile(q).unwrap()).collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        let mean = s.mean().unwrap();
+        prop_assert!(vals[0] <= mean + 1e-9 && mean <= vals[qs.len() - 1] + 1e-9);
+    }
+
+    /// Gauge deltas conserve: final value equals the sum of deltas.
+    #[test]
+    fn gauge_conserves_deltas(deltas in prop::collection::vec(-5i64..=5, 1..200)) {
+        let mut g = GaugeSeries::new();
+        let mut t = 0u64;
+        for &d in &deltas {
+            t += 7;
+            g.record_delta(SimTime::from_micros(t), d);
+        }
+        prop_assert_eq!(g.current(), deltas.iter().sum::<i64>());
+        prop_assert!(g.peak() >= g.current());
+        prop_assert!(g.peak() >= 0);
+    }
+
+    /// Substream derivation is injective enough: distinct labels rarely
+    /// collide (we require none over a small generated set).
+    #[test]
+    fn substreams_distinct(labels in prop::collection::hash_set("[a-z]{1,8}", 2..20)) {
+        let seed = Seed(0xDEADBEEF);
+        let derived: std::collections::HashSet<u64> =
+            labels.iter().map(|l| seed.substream(l).0).collect();
+        prop_assert_eq!(derived.len(), labels.len());
+    }
+
+    /// Exponential samples are nonnegative and rate-ordered in the mean.
+    #[test]
+    fn exp_samples_positive(seed in 0u64..1000, rate in 0.1f64..100.0) {
+        let mut rng = Seed(seed).rng();
+        for _ in 0..50 {
+            let d = rng.exp_interval(rate);
+            prop_assert!(d >= SimDuration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Additional workload shapes beyond the paper's MMPP: a diurnal
+//! (time-of-day) cycle and a flash crowd. Both are non-homogeneous Poisson
+//! processes sampled by thinning, and both exist to stress the serving
+//! platforms on patterns the MMPP presets cannot express — slow predictable
+//! ramps and a single extreme spike.
+
+use crate::trace::WorkloadTrace;
+use slsb_sim::{Seed, SimDuration, SimTime};
+use std::f64::consts::TAU;
+
+/// A sinusoidal day-night cycle: rate oscillates between
+/// `base - amplitude` and `base + amplitude` with the given period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSpec {
+    /// Trace label.
+    pub name: &'static str,
+    /// Mean arrival rate (requests/second).
+    pub base_rate: f64,
+    /// Peak-to-mean rate difference (requests/second); must not exceed
+    /// `base_rate`.
+    pub amplitude: f64,
+    /// Length of one day-night cycle.
+    pub period: SimDuration,
+    /// Total trace duration.
+    pub duration: SimDuration,
+}
+
+impl DiurnalSpec {
+    /// Instantaneous rate at `t` seconds.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        self.base_rate + self.amplitude * (TAU * t_secs / self.period.as_secs_f64()).sin()
+    }
+
+    /// Samples a trace via Poisson thinning.
+    ///
+    /// # Panics
+    /// Panics if amplitude exceeds the base rate or parameters are not
+    /// finite and positive.
+    pub fn generate(&self, seed: Seed) -> WorkloadTrace {
+        assert!(
+            self.base_rate.is_finite() && self.base_rate > 0.0,
+            "invalid base rate"
+        );
+        assert!(
+            self.amplitude.is_finite() && (0.0..=self.base_rate).contains(&self.amplitude),
+            "amplitude must be within [0, base_rate]"
+        );
+        let max_rate = self.base_rate + self.amplitude;
+        let arrivals = thin(seed, self.duration, max_rate, |t| self.rate_at(t));
+        WorkloadTrace::new(self.name, self.duration, arrivals)
+    }
+}
+
+/// A flash crowd: a low background rate with one rectangular spike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowdSpec {
+    /// Trace label.
+    pub name: &'static str,
+    /// Background rate (requests/second).
+    pub base_rate: f64,
+    /// Rate during the spike.
+    pub spike_rate: f64,
+    /// When the spike begins.
+    pub spike_start: SimTime,
+    /// How long the spike lasts.
+    pub spike_duration: SimDuration,
+    /// Total trace duration.
+    pub duration: SimDuration,
+}
+
+impl FlashCrowdSpec {
+    /// Instantaneous rate at `t` seconds.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        let start = self.spike_start.as_secs_f64();
+        let end = start + self.spike_duration.as_secs_f64();
+        if (start..end).contains(&t_secs) {
+            self.spike_rate
+        } else {
+            self.base_rate
+        }
+    }
+
+    /// Samples a trace via Poisson thinning.
+    ///
+    /// # Panics
+    /// Panics if rates are not finite/positive or the spike is slower than
+    /// the background.
+    pub fn generate(&self, seed: Seed) -> WorkloadTrace {
+        assert!(
+            self.base_rate.is_finite() && self.base_rate > 0.0,
+            "invalid base rate"
+        );
+        assert!(
+            self.spike_rate.is_finite() && self.spike_rate >= self.base_rate,
+            "spike must be at least the background rate"
+        );
+        let arrivals = thin(seed, self.duration, self.spike_rate, |t| self.rate_at(t));
+        WorkloadTrace::new(self.name, self.duration, arrivals)
+    }
+}
+
+/// Samples a non-homogeneous Poisson process with rate `rate_at` bounded by
+/// `max_rate`, by thinning a homogeneous process at `max_rate`.
+fn thin(
+    seed: Seed,
+    duration: SimDuration,
+    max_rate: f64,
+    rate_at: impl Fn(f64) -> f64,
+) -> Vec<SimTime> {
+    let mut rng = seed.substream("nhpp-thinning").rng();
+    let mut arrivals = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        t += rng.exp_interval(max_rate);
+        if t.as_micros() >= duration.as_micros() {
+            break;
+        }
+        let keep_prob = rate_at(t.as_secs_f64()) / max_rate;
+        if rng.chance(keep_prob) {
+            arrivals.push(t);
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal() -> DiurnalSpec {
+        DiurnalSpec {
+            name: "diurnal",
+            base_rate: 50.0,
+            amplitude: 40.0,
+            period: SimDuration::from_secs(300),
+            duration: SimDuration::from_secs(900),
+        }
+    }
+
+    #[test]
+    fn diurnal_count_matches_mean_rate() {
+        let tr = diurnal().generate(Seed(1));
+        // Over whole periods the sinusoid integrates to the base rate.
+        let expected = 50.0 * 900.0;
+        let n = tr.len() as f64;
+        assert!((n - expected).abs() / expected < 0.05, "count {n}");
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_differ() {
+        let tr = diurnal().generate(Seed(2));
+        let series = tr.rate_series(SimDuration::from_secs(10));
+        // Peak of the cycle sits near t=75 (sin max), trough near t=225.
+        let peak = series[7].1 as f64 / 10.0;
+        let trough = series[22].1 as f64 / 10.0;
+        assert!(peak > 2.0 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_in_spike() {
+        let spec = FlashCrowdSpec {
+            name: "flash",
+            base_rate: 5.0,
+            spike_rate: 200.0,
+            spike_start: SimTime::from_secs_f64(300.0),
+            spike_duration: SimDuration::from_secs(60),
+            duration: SimDuration::from_secs(600),
+        };
+        let tr = spec.generate(Seed(3));
+        let in_spike = tr
+            .arrivals()
+            .iter()
+            .filter(|t| (300.0..360.0).contains(&t.as_secs_f64()))
+            .count();
+        // Expected: spike 12000 vs background 2700.
+        assert!(in_spike as f64 > tr.len() as f64 * 0.7, "spike share");
+    }
+
+    #[test]
+    fn rate_at_is_bounded() {
+        let d = diurnal();
+        for i in 0..900 {
+            let r = d.rate_at(i as f64);
+            assert!((10.0..=90.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(diurnal().generate(Seed(7)), diurnal().generate(Seed(7)));
+        assert_ne!(diurnal().generate(Seed(7)), diurnal().generate(Seed(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn excessive_amplitude_panics() {
+        DiurnalSpec {
+            amplitude: 60.0,
+            ..diurnal()
+        }
+        .generate(Seed(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "spike")]
+    fn slow_spike_panics() {
+        FlashCrowdSpec {
+            name: "bad",
+            base_rate: 10.0,
+            spike_rate: 5.0,
+            spike_start: SimTime::ZERO,
+            spike_duration: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(100),
+        }
+        .generate(Seed(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Homogeneous Poisson arrival generation.
+
+use crate::trace::WorkloadTrace;
+use slsb_sim::{Seed, SimDuration, SimTime};
+
+/// A constant-rate Poisson arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    /// Arrival rate in requests per second.
+    pub rate_per_sec: f64,
+    /// Length of the generated trace.
+    pub duration: SimDuration,
+}
+
+impl PoissonProcess {
+    /// Creates a process.
+    ///
+    /// # Panics
+    /// Panics if the rate is negative or not finite.
+    pub fn new(rate_per_sec: f64, duration: SimDuration) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec >= 0.0,
+            "invalid Poisson rate: {rate_per_sec}"
+        );
+        PoissonProcess {
+            rate_per_sec,
+            duration,
+        }
+    }
+
+    /// Samples all arrivals in `[0, duration)` for the given seed.
+    pub fn generate(&self, seed: Seed) -> WorkloadTrace {
+        let mut rng = seed.substream("poisson").rng();
+        let mut arrivals = Vec::new();
+        if self.rate_per_sec > 0.0 {
+            let mut t = SimTime::ZERO;
+            loop {
+                t += rng.exp_interval(self.rate_per_sec);
+                if t.as_micros() >= self.duration.as_micros() {
+                    break;
+                }
+                arrivals.push(t);
+            }
+        }
+        WorkloadTrace::new(
+            format!("poisson-{}", self.rate_per_sec),
+            self.duration,
+            arrivals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_expectation() {
+        let p = PoissonProcess::new(50.0, SimDuration::from_secs(600));
+        let tr = p.generate(Seed(1));
+        let expected = 50.0 * 600.0;
+        let n = tr.len() as f64;
+        // 3 sigma ≈ 3 * sqrt(30000) ≈ 520
+        assert!(
+            (n - expected).abs() < 600.0,
+            "count {n} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let p = PoissonProcess::new(0.0, SimDuration::from_secs(60));
+        assert!(p.generate(Seed(2)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PoissonProcess::new(10.0, SimDuration::from_secs(100));
+        assert_eq!(p.generate(Seed(3)), p.generate(Seed(3)));
+        assert_ne!(p.generate(Seed(3)), p.generate(Seed(4)));
+    }
+
+    #[test]
+    fn arrivals_within_duration() {
+        let p = PoissonProcess::new(200.0, SimDuration::from_secs(10));
+        let tr = p.generate(Seed(5));
+        assert!(tr.arrivals().iter().all(|a| a.as_micros() < 10 * 1_000_000));
+    }
+
+    #[test]
+    fn interarrival_cv_is_poisson_like() {
+        // For a Poisson process the coefficient of variation of
+        // inter-arrival gaps is 1.
+        let p = PoissonProcess::new(100.0, SimDuration::from_secs(600));
+        let tr = p.generate(Seed(6));
+        let gaps: Vec<f64> = tr
+            .arrivals()
+            .windows(2)
+            .map(|w| w[1].duration_since(w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv} should be ~1");
+    }
+}

@@ -1,0 +1,188 @@
+//! Request pools.
+//!
+//! The paper's executor keeps a pool of pre-built requests (default 200) and
+//! each client picks one uniformly at random per arrival, "ensuring that
+//! model serving systems do not cache the prediction results" (Section 3).
+
+use serde::{Deserialize, Serialize};
+use slsb_sim::SimRng;
+
+/// The kind of payload a model consumes; determines realistic payload sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputKind {
+    /// JPEG-ish image payloads (MobileNet, VGG).
+    Image,
+    /// Tokenized-text payloads (ALBERT).
+    Text,
+}
+
+impl InputKind {
+    /// Nominal payload size range in bytes.
+    ///
+    /// Images: 60–180 KB (typical mobile-app JPEG uploads); text: 0.5–4 KB.
+    pub fn size_range(self) -> (u64, u64) {
+        match self {
+            InputKind::Image => (60_000, 180_000),
+            InputKind::Text => (500, 4_000),
+        }
+    }
+}
+
+/// One pre-built request payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payload {
+    /// Index within the pool.
+    pub id: u32,
+    /// Serialized size in bytes (drives network-transfer time).
+    pub size_bytes: u64,
+    /// How many input samples are packed in this payload (Figure 12c varies
+    /// this; normally 1).
+    pub samples: u32,
+}
+
+/// A pool of distinct request payloads clients draw from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestPool {
+    kind: InputKind,
+    payloads: Vec<Payload>,
+}
+
+impl RequestPool {
+    /// The paper's default pool size.
+    pub const DEFAULT_SIZE: usize = 200;
+
+    /// Builds a pool of `size` payloads with sizes spread uniformly across
+    /// the input kind's nominal range (deterministic: evenly spaced, so the
+    /// pool itself does not consume randomness).
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn generate(kind: InputKind, size: usize) -> Self {
+        assert!(size > 0, "empty request pool");
+        let (lo, hi) = kind.size_range();
+        let payloads = (0..size)
+            .map(|i| {
+                let frac = if size == 1 {
+                    0.5
+                } else {
+                    i as f64 / (size - 1) as f64
+                };
+                Payload {
+                    id: i as u32,
+                    size_bytes: lo + ((hi - lo) as f64 * frac).round() as u64,
+                    samples: 1,
+                }
+            })
+            .collect();
+        RequestPool { kind, payloads }
+    }
+
+    /// The default 200-payload pool for an input kind.
+    pub fn default_for(kind: InputKind) -> Self {
+        Self::generate(kind, Self::DEFAULT_SIZE)
+    }
+
+    /// Rescales every payload to pack `samples` input samples (payload size
+    /// scales linearly). Models the paper's Figure 12c input-size sweep.
+    pub fn with_samples_per_request(mut self, samples: u32) -> Self {
+        assert!(samples > 0, "zero samples per request");
+        for p in &mut self.payloads {
+            p.size_bytes = p.size_bytes / u64::from(p.samples) * u64::from(samples);
+            p.samples = samples;
+        }
+        self
+    }
+
+    /// Input kind the pool was built for.
+    pub fn kind(&self) -> InputKind {
+        self.kind
+    }
+
+    /// Number of distinct payloads.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when the pool is empty (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Draws one payload uniformly at random — what each client does per
+    /// arrival.
+    pub fn pick(&self, rng: &mut SimRng) -> Payload {
+        self.payloads[rng.index(self.payloads.len())]
+    }
+
+    /// All payloads.
+    pub fn payloads(&self) -> &[Payload] {
+        &self.payloads
+    }
+
+    /// Mean payload size in bytes.
+    pub fn mean_size(&self) -> f64 {
+        self.payloads
+            .iter()
+            .map(|p| p.size_bytes as f64)
+            .sum::<f64>()
+            / self.payloads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_sim::Seed;
+
+    #[test]
+    fn pool_sizes_span_range() {
+        let pool = RequestPool::default_for(InputKind::Image);
+        assert_eq!(pool.len(), 200);
+        let (lo, hi) = InputKind::Image.size_range();
+        assert_eq!(pool.payloads().first().unwrap().size_bytes, lo);
+        assert_eq!(pool.payloads().last().unwrap().size_bytes, hi);
+        assert!(pool.mean_size() > lo as f64 && pool.mean_size() < hi as f64);
+    }
+
+    #[test]
+    fn text_pool_is_smaller() {
+        let img = RequestPool::default_for(InputKind::Image);
+        let txt = RequestPool::default_for(InputKind::Text);
+        assert!(txt.mean_size() < img.mean_size() / 10.0);
+    }
+
+    #[test]
+    fn pick_is_uniformish() {
+        let pool = RequestPool::generate(InputKind::Text, 10);
+        let mut rng = Seed(1).rng();
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[pool.pick(&mut rng).id as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300), "{counts:?}");
+    }
+
+    #[test]
+    fn samples_scaling() {
+        let pool = RequestPool::generate(InputKind::Image, 5).with_samples_per_request(4);
+        for p in pool.payloads() {
+            assert_eq!(p.samples, 4);
+        }
+        let single = RequestPool::generate(InputKind::Image, 5);
+        assert!((pool.mean_size() / single.mean_size() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_payload_pool() {
+        let pool = RequestPool::generate(InputKind::Text, 1);
+        assert_eq!(pool.len(), 1);
+        let mut rng = Seed(2).rng();
+        assert_eq!(pool.pick(&mut rng).id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty request pool")]
+    fn zero_size_panics() {
+        RequestPool::generate(InputKind::Text, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Workload splitter.
+//!
+//! The paper employs multiple client nodes (8 by default) and "evenly
+//! divide\[s\] the workloads such that … the aggregated request rate matches
+//! the original workloads" (Section 3). We split arrivals round-robin by
+//! index, which interleaves every client across the whole trace and exactly
+//! preserves the aggregate process.
+
+use crate::trace::WorkloadTrace;
+use slsb_sim::SimTime;
+
+/// Splits `trace` into `clients` sub-traces, round-robin by arrival index.
+///
+/// # Panics
+/// Panics if `clients` is zero.
+pub fn split_round_robin(trace: &WorkloadTrace, clients: usize) -> Vec<WorkloadTrace> {
+    assert!(clients > 0, "cannot split across zero clients");
+    let mut parts: Vec<Vec<SimTime>> = vec![Vec::new(); clients];
+    for (i, &a) in trace.arrivals().iter().enumerate() {
+        parts[i % clients].push(a);
+    }
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrivals)| {
+            WorkloadTrace::new(
+                format!("{}/client-{i}", trace.name()),
+                trace.duration(),
+                arrivals,
+            )
+        })
+        .collect()
+}
+
+/// Merges client sub-traces back into one aggregate trace (for validation).
+///
+/// # Panics
+/// Panics if `parts` is empty or the parts disagree on duration.
+pub fn merge(name: &str, parts: &[WorkloadTrace]) -> WorkloadTrace {
+    assert!(!parts.is_empty(), "nothing to merge");
+    let duration = parts[0].duration();
+    assert!(
+        parts.iter().all(|p| p.duration() == duration),
+        "parts disagree on duration"
+    );
+    let mut arrivals: Vec<SimTime> = parts.iter().flat_map(|p| p.arrivals()).copied().collect();
+    arrivals.sort_unstable();
+    WorkloadTrace::new(name, duration, arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmpp::MmppPreset;
+    use slsb_sim::{Seed, SimDuration};
+
+    #[test]
+    fn split_conserves_requests() {
+        let tr = MmppPreset::W40.generate(Seed(1));
+        let parts = split_round_robin(&tr, 8);
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, tr.len());
+    }
+
+    #[test]
+    fn split_is_even() {
+        let tr = MmppPreset::W40.generate(Seed(2));
+        let parts = split_round_robin(&tr, 8);
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        assert!(max - min <= 1, "round robin must balance within 1");
+    }
+
+    #[test]
+    fn merge_inverts_split() {
+        let tr = MmppPreset::W120.generate(Seed(3));
+        let parts = split_round_robin(&tr, 8);
+        let merged = merge("merged", &parts);
+        assert_eq!(merged.arrivals(), tr.arrivals());
+    }
+
+    #[test]
+    fn each_client_covers_whole_duration() {
+        // Round-robin interleaving means every client sees early and late
+        // arrivals, matching the paper's "aggregated rate matches" goal.
+        let tr = MmppPreset::W40.generate(Seed(4));
+        let parts = split_round_robin(&tr, 8);
+        let dur = tr.duration().as_secs_f64();
+        for p in &parts {
+            let first = p.arrivals().first().unwrap().as_secs_f64();
+            let last = p.arrivals().last().unwrap().as_secs_f64();
+            assert!(first < dur * 0.1, "client starts late: {first}");
+            assert!(last > dur * 0.8, "client ends early: {last}");
+        }
+    }
+
+    #[test]
+    fn more_clients_than_requests() {
+        let tr = WorkloadTrace::new(
+            "tiny",
+            SimDuration::from_secs(10),
+            vec![SimTime::from_secs_f64(1.0)],
+        );
+        let parts = split_round_robin(&tr, 4);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clients")]
+    fn zero_clients_panics() {
+        let tr = WorkloadTrace::new("x", SimDuration::from_secs(1), vec![]);
+        split_round_robin(&tr, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on duration")]
+    fn merge_rejects_mismatched_durations() {
+        let a = WorkloadTrace::new("a", SimDuration::from_secs(1), vec![]);
+        let b = WorkloadTrace::new("b", SimDuration::from_secs(2), vec![]);
+        merge("bad", &[a, b]);
+    }
+}

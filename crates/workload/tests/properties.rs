@@ -1,0 +1,119 @@
+//! Property-based tests of workload-generation invariants.
+
+use proptest::prelude::*;
+use slsb_sim::{Seed, SimDuration, SimTime};
+use slsb_workload::{
+    merge, split_round_robin, InputKind, MmppSpec, PoissonProcess, RequestPool, WorkloadTrace,
+};
+
+fn spec(rate_high: f64, rate_low: f64, secs: u64) -> MmppSpec {
+    MmppSpec {
+        name: "prop",
+        rate_high,
+        rate_low,
+        mean_high_dwell: SimDuration::from_secs(20),
+        mean_low_dwell: SimDuration::from_secs(40),
+        duration: SimDuration::from_secs(secs),
+    }
+}
+
+proptest! {
+    /// MMPP arrivals are sorted and within the duration for any parameters.
+    #[test]
+    fn mmpp_arrivals_sorted_in_range(
+        rate_high in 1.0f64..300.0,
+        low_frac in 0.0f64..1.0,
+        secs in 10u64..600,
+        seed in 0u64..1000,
+    ) {
+        let tr = spec(rate_high, rate_high * low_frac, secs).generate(Seed(seed));
+        let a = tr.arrivals();
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(a.iter().all(|t| t.as_micros() <= secs * 1_000_000));
+    }
+
+    /// Expected request count scales linearly with duration.
+    #[test]
+    fn mmpp_expectation_linear_in_duration(rate in 5.0f64..100.0, secs in 50u64..500) {
+        let one = spec(rate, rate / 4.0, secs);
+        let two = spec(rate, rate / 4.0, secs * 2);
+        prop_assert!((two.expected_requests() / one.expected_requests() - 2.0).abs() < 1e-9);
+    }
+
+    /// Generated counts concentrate around the expectation. A single draw
+    /// has high variance (few modulation cycles per trace), so average a
+    /// small batch of consecutive seeds.
+    #[test]
+    fn mmpp_count_near_expectation(seed in 0u64..300) {
+        let s = spec(80.0, 20.0, 600);
+        let batch = 6;
+        let mean = (0..batch)
+            .map(|i| s.generate(Seed(seed * 1000 + i)).len() as f64)
+            .sum::<f64>() / batch as f64;
+        let e = s.expected_requests();
+        prop_assert!((mean - e).abs() / e < 0.35, "mean {mean} vs expectation {e}");
+    }
+
+    /// Split/merge is lossless for any client count.
+    #[test]
+    fn split_merge_roundtrip(seed in 0u64..300, clients in 1usize..32) {
+        let tr = spec(30.0, 8.0, 120).generate(Seed(seed));
+        let parts = split_round_robin(&tr, clients);
+        prop_assert_eq!(parts.len(), clients);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, tr.len());
+        let merged = merge("m", &parts);
+        prop_assert_eq!(merged.arrivals(), tr.arrivals());
+    }
+
+    /// Split balance: client loads differ by at most one request.
+    #[test]
+    fn split_is_balanced(seed in 0u64..300, clients in 1usize..16) {
+        let tr = spec(20.0, 5.0, 90).generate(Seed(seed));
+        let parts = split_round_robin(&tr, clients);
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Poisson counts grow with rate.
+    #[test]
+    fn poisson_monotone_in_rate(seed in 0u64..200, rate in 1.0f64..50.0) {
+        let d = SimDuration::from_secs(300);
+        let lo = PoissonProcess::new(rate, d).generate(Seed(seed)).len();
+        let hi = PoissonProcess::new(rate * 4.0, d).generate(Seed(seed)).len();
+        prop_assert!(hi > lo);
+    }
+
+    /// CSV round-trip is exact for arbitrary traces.
+    #[test]
+    fn trace_csv_roundtrip(times in prop::collection::vec(0u64..100_000_000u64, 0..200)) {
+        let arrivals: Vec<SimTime> = times.iter().map(|&t| SimTime::from_micros(t)).collect();
+        let tr = WorkloadTrace::new("prop", SimDuration::from_secs(100), arrivals);
+        let parsed = WorkloadTrace::from_csv(&tr.to_csv()).unwrap();
+        prop_assert_eq!(parsed, tr);
+    }
+
+    /// Rate series conserves the total request count.
+    #[test]
+    fn rate_series_conserves(seed in 0u64..200, bucket_s in 1u64..60) {
+        let tr = spec(40.0, 10.0, 200).generate(Seed(seed));
+        let series = tr.rate_series(SimDuration::from_secs(bucket_s));
+        let total: u64 = series.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total as usize, tr.len());
+    }
+
+    /// Request pool picks are always members of the pool and payload sizes
+    /// stay in the input kind's range.
+    #[test]
+    fn pool_picks_valid(seed in 0u64..200, size in 1usize..300) {
+        let pool = RequestPool::generate(InputKind::Image, size);
+        let (lo, hi) = InputKind::Image.size_range();
+        let mut rng = Seed(seed).rng();
+        for _ in 0..50 {
+            let p = pool.pick(&mut rng);
+            prop_assert!((p.id as usize) < size);
+            prop_assert!(p.size_bytes >= lo && p.size_bytes <= hi);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Anatomy of a serverless cold start (paper Figures 10, 12, 14): where do
+//! the ~9–14 seconds go, and what can a data scientist do about it?
+//!
+//! Dissects the cold-start pipeline for every model × runtime × cloud and
+//! shows the two levers the paper recommends — a lightweight runtime and
+//! avoiding large downloads.
+//!
+//! ```text
+//! cargo run --release --example cold_start_anatomy
+//! ```
+
+use slsbench::core::{analyze, Deployment, Executor, Table};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::PlatformKind;
+use slsbench::sim::{Seed, SimDuration};
+use slsbench::workload::MmppSpec;
+
+fn main() {
+    let seed = Seed(9);
+    // A small bursty trace: enough arrivals to produce a healthy sample of
+    // cold starts on a fresh deployment.
+    let trace = MmppSpec {
+        name: "anatomy",
+        rate_high: 40.0,
+        rate_low: 10.0,
+        mean_high_dwell: SimDuration::from_secs(30),
+        mean_low_dwell: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(300),
+    }
+    .generate(seed);
+
+    let mut table = Table::new(
+        "Cold-start anatomy (mean seconds per sub-stage)",
+        &[
+            "Deployment",
+            "boot",
+            "import",
+            "download",
+            "load",
+            "first predict",
+            "cold E2E",
+            "warm E2E",
+        ],
+    );
+
+    let exec = Executor::default();
+    for platform in [PlatformKind::AwsServerless, PlatformKind::GcpServerless] {
+        for model in ModelKind::ALL {
+            for runtime in RuntimeKind::ALL {
+                let deployment = Deployment::new(platform, model, runtime);
+                let run = exec.run(&deployment, &trace, seed).expect("valid");
+                let a = analyze(&run);
+                let f = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into());
+                table.push_row(vec![
+                    deployment.label(),
+                    f(a.cold.boot),
+                    f(a.cold.import),
+                    f(a.cold.download),
+                    f(a.cold.load),
+                    f(a.cold.predict_cold),
+                    f(a.cold.e2e_cold),
+                    f(a.cold.e2e_warm),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    println!(
+        "Reading the table: with TF1.15 the dependency *import* dominates (4-5s on both\n\
+         clouds, as in the paper's Figure 10); switching to OnnxRuntime collapses import\n\
+         and load, cutting cold E2E from ~9-14s to ~3s (Figure 14). VGG shows the other\n\
+         lever: its 548MB artifact must be baked into the image (Lambda's 512MB /tmp\n\
+         quota), trading download time for load time."
+    );
+}

@@ -1,0 +1,110 @@
+//! Extending the framework with your own model and runtime — the paper's
+//! framework claims to be "easily extended to support new models and new
+//! platforms" (Section 3); this example serves a hypothetical BERT-large
+//! (1.3 GB artifact, heavy inference) under a hand-rolled runtime profile
+//! and compares packaging strategies on a Lambda-style platform.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+
+use slsbench::core::{analyze, Deployment, Executor, Table};
+use slsbench::model::{ModelKind, ModelProfile, RuntimeKind, RuntimeProfile};
+use slsbench::platform::{CloudProvider, Platform, PlatformKind, ServerlessConfig};
+use slsbench::sim::{Seed, SimDuration};
+use slsbench::workload::MmppSpec;
+
+fn bert_large() -> ModelProfile {
+    let profile = ModelProfile {
+        name: "BERT-large".into(),
+        artifact_mb: 1_300.0,
+        reference_predict: SimDuration::from_millis(1_400),
+        parallel_fraction: 0.90,
+        gpu_predict: SimDuration::from_millis(35),
+        image_input: false,
+    };
+    profile.validate().expect("well-formed custom profile");
+    profile
+}
+
+fn distilled_runtime() -> RuntimeProfile {
+    RuntimeProfile {
+        name: "TinyRT".into(),
+        import_time: SimDuration::from_millis(300),
+        load_base: SimDuration::from_millis(100),
+        load_per_mb: SimDuration::from_millis(1),
+        predict_factor: 0.6,
+        lazy_init: SimDuration::from_millis(150),
+        image_mb: 40.0,
+    }
+}
+
+fn main() {
+    let seed = Seed(77);
+    let trace = MmppSpec {
+        name: "qa-traffic",
+        rate_high: 30.0,
+        rate_low: 6.0,
+        mean_high_dwell: SimDuration::from_secs(40),
+        mean_low_dwell: SimDuration::from_secs(90),
+        duration: SimDuration::from_secs(600),
+    }
+    .generate(seed);
+    println!(
+        "Serving a custom 1.3GB BERT-large on Lambda-style serverless ({} requests)\n",
+        trace.len()
+    );
+
+    let mut table = Table::new(
+        "Custom model deployments",
+        &["Configuration", "Mean latency", "cs E2E", "SR", "Cost"],
+    );
+    let exec = Executor::default();
+    // Descriptive metadata only — the platform below carries the real
+    // profiles (run_built is the extension entry point for custom models).
+    let meta = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::Albert,
+        RuntimeKind::Tf115,
+    );
+
+    let variants: [(&str, RuntimeProfile, f64, u32); 3] = [
+        (
+            "TF1.15, 4GB, image-baked",
+            RuntimeKind::Tf115.profile(),
+            4096.0,
+            0,
+        ),
+        ("TinyRT, 4GB, image-baked", distilled_runtime(), 4096.0, 0),
+        ("TinyRT, 8GB, 8 pre-warmed", distilled_runtime(), 8192.0, 8),
+    ];
+
+    for (label, runtime, memory_mb, provisioned) in variants {
+        let mut cfg = ServerlessConfig::new(CloudProvider::Aws, bert_large(), runtime);
+        // 1.3GB exceeds the 512MB /tmp quota, so the artifact must ship in
+        // the container image — the same rule the paper hit with VGG.
+        cfg.bake_model_in_image = true;
+        cfg.memory_mb = memory_mb;
+        cfg.provisioned_concurrency = provisioned;
+        let platform = Platform::serverless(cfg, seed);
+        let run = exec.run_built(&meta, platform, &trace, seed);
+        let a = analyze(&run);
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.3}s", a.mean_latency().unwrap()),
+            a.cold
+                .e2e_cold
+                .map(|x| format!("{x:.2}s"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.1}%", a.success_ratio * 100.0),
+            a.cost.total().to_string(),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "The same levers the paper found for VGG apply to any custom model: a lightweight\n\
+         runtime collapses the cold start, more memory buys CPU for the 1.4s inference,\n\
+         and pre-warmed capacity removes the remaining cold tail at a reservation fee."
+    );
+}

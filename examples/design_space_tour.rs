@@ -1,0 +1,84 @@
+//! A tour of the serverless design space (paper Section 5) using the
+//! built-in navigator (the Section 6 "opportunity", implemented in
+//! `slsb_core::explorer`): sweep memory × runtime × batch size, print every
+//! candidate, the latency/cost Pareto front, and the cheapest configuration
+//! meeting an SLO.
+//!
+//! ```text
+//! cargo run --release --example design_space_tour
+//! ```
+
+use slsbench::core::{explore, Deployment, Executor, ExplorerGrid, Table};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::PlatformKind;
+use slsbench::sim::Seed;
+use slsbench::workload::MmppPreset;
+
+fn main() {
+    let seed = Seed(152);
+    let trace = MmppPreset::W120.generate(seed);
+
+    let base = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let grid = ExplorerGrid::default();
+    println!(
+        "sweeping {} memory sizes x {} runtimes x {} batch sizes on {} ({} requests)...\n",
+        grid.memory_mb.len(),
+        grid.runtimes.len(),
+        grid.batch_sizes.len(),
+        trace.name(),
+        trace.len()
+    );
+
+    let exploration = explore(&Executor::default(), base, &grid, &trace, seed).expect("valid grid");
+
+    let mut table = Table::new(
+        "All candidates",
+        &[
+            "Memory",
+            "Runtime",
+            "Batch",
+            "Mean latency",
+            "p95",
+            "SR",
+            "Cost",
+        ],
+    );
+    for c in &exploration.candidates {
+        table.push_row(vec![
+            format!("{:.0}MB", c.deployment.memory_mb),
+            c.deployment.runtime.to_string(),
+            c.deployment.batch_size.to_string(),
+            format!("{:.3}s", c.mean_latency),
+            format!("{:.3}s", c.p95_latency),
+            format!("{:.1}%", c.success_ratio * 100.0),
+            format!("${:.3}", c.cost),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    println!("Pareto front (minimize latency AND cost, SR >= 99%):");
+    for c in exploration.pareto_front(0.99) {
+        println!(
+            "  {:>6.0}MB {} batch={} -> {:.3}s, ${:.3}",
+            c.deployment.memory_mb,
+            c.deployment.runtime,
+            c.deployment.batch_size,
+            c.mean_latency,
+            c.cost
+        );
+    }
+
+    for slo in [0.5, 0.2, 0.1] {
+        match exploration.cheapest_under_slo(slo, 0.99) {
+            Some(c) => println!(
+                "cheapest with p95 <= {slo}s: {:.0}MB {} batch={} at ${:.3}",
+                c.deployment.memory_mb, c.deployment.runtime, c.deployment.batch_size, c.cost
+            ),
+            None => println!("no configuration meets p95 <= {slo}s"),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: deploy one model on one platform, replay one workload, read
+//! the three metrics the paper reports (latency, success ratio, cost).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use slsbench::core::{analyze, Deployment, Executor};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::PlatformKind;
+use slsbench::sim::Seed;
+use slsbench::workload::MmppPreset;
+
+fn main() {
+    let seed = Seed(152);
+
+    // 1. Load generator: the paper's "workload-40" — a bursty MMPP trace of
+    //    ~15 000 requests over 15 minutes (Figure 4).
+    let trace = MmppPreset::W40.generate(seed);
+    println!(
+        "workload: {} requests over {:.0}s (mean {:.1} req/s)",
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        trace.mean_rate()
+    );
+
+    // 2. Planner: MobileNet on a Lambda-style serverless platform with the
+    //    default TensorFlow 1.15 runtime and 2 GB of function memory.
+    let deployment = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    println!("deployment: {}", deployment.label());
+
+    // 3. Executor: 8 open-loop clients replay the trace with a 60 s timeout.
+    let run = Executor::default()
+        .run(&deployment, &trace, seed)
+        .expect("valid deployment");
+
+    // 4. Analyzer: the paper's three metrics.
+    let report = analyze(&run);
+    println!("success ratio : {:.2}%", report.success_ratio * 100.0);
+    println!(
+        "mean latency  : {:.3}s (p50 {:.3}s, p99 {:.3}s)",
+        report.mean_latency().unwrap(),
+        report.latency.unwrap().p50,
+        report.latency.unwrap().p99,
+    );
+    println!("cost          : {}", report.cost.total());
+    println!(
+        "cold starts   : {} instances spawned, {} requests served cold (mean {:.2}s vs warm {:.3}s)",
+        report.cold_started,
+        report.cold.cold_requests,
+        report.cold.e2e_cold.unwrap_or(0.0),
+        report.cold.e2e_warm.unwrap_or(0.0),
+    );
+}

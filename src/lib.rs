@@ -1,0 +1,49 @@
+//! # slsbench — serverless model serving, benchmarked
+//!
+//! A from-scratch Rust reproduction of *"Serverless Data Science — Are We
+//! There Yet? A Case Study of Model Serving"* (SIGMOD 2022): the paper's
+//! benchmarking framework (load generator → planner → executor → analyzer)
+//! plus calibrated discrete-event simulators of the eight cloud serving
+//! systems it evaluates — Lambda, Cloud Functions, SageMaker, AI Platform,
+//! and self-rented CPU/GPU servers on EC2 and GCE.
+//!
+//! This crate is a facade: it re-exports the five member crates so an
+//! application can depend on one name. See each crate for details:
+//!
+//! - [`sim`] — deterministic discrete-event kernel;
+//! - [`workload`] — MMPP workload generation (the paper's Figure 4);
+//! - [`model`] — model/runtime profiles and calibration anchors;
+//! - [`platform`] — the eight simulated serving systems;
+//! - [`core`] — planner, executor, analyzer, reports, design-space explorer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slsbench::core::{analyze, Deployment, Executor};
+//! use slsbench::model::{ModelKind, RuntimeKind};
+//! use slsbench::platform::PlatformKind;
+//! use slsbench::sim::Seed;
+//! use slsbench::workload::MmppPreset;
+//!
+//! // Deploy MobileNet on a Lambda-style platform and replay workload-40.
+//! let trace = MmppPreset::W40.generate(Seed(7));
+//! let deployment = Deployment::new(
+//!     PlatformKind::AwsServerless,
+//!     ModelKind::MobileNet,
+//!     RuntimeKind::Tf115,
+//! );
+//! let run = Executor::default().run(&deployment, &trace, Seed(7)).unwrap();
+//! let report = analyze(&run);
+//! assert!(report.success_ratio > 0.99);
+//! println!(
+//!     "mean latency {:.3}s, cost {}",
+//!     report.mean_latency().unwrap(),
+//!     report.cost.total()
+//! );
+//! ```
+
+pub use slsb_core as core;
+pub use slsb_model as model;
+pub use slsb_platform as platform;
+pub use slsb_sim as sim;
+pub use slsb_workload as workload;

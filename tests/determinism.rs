@@ -1,0 +1,111 @@
+//! Reproducibility contract: for a fixed seed and configuration, the whole
+//! pipeline — workload generation, execution, analysis, rendering — is
+//! bit-for-bit identical across runs; different seeds differ.
+
+use slsbench::core::{analyze, Deployment, Executor};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::PlatformKind;
+use slsbench::sim::{Seed, SimDuration};
+use slsbench::workload::{MmppSpec, WorkloadTrace};
+
+fn trace(seed: Seed) -> WorkloadTrace {
+    MmppSpec {
+        name: "det",
+        rate_high: 60.0,
+        rate_low: 15.0,
+        mean_high_dwell: SimDuration::from_secs(30),
+        mean_low_dwell: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(240),
+    }
+    .generate(seed)
+}
+
+fn digest(platform: PlatformKind, seed: Seed) -> String {
+    let tr = trace(seed);
+    let run = Executor::default()
+        .run(
+            &Deployment::new(platform, ModelKind::Albert, RuntimeKind::Tf115),
+            &tr,
+            seed,
+        )
+        .unwrap();
+    let a = analyze(&run);
+    serde_json_digest(&a)
+}
+
+fn serde_json_digest(a: &slsbench::core::Analysis) -> String {
+    // Analysis is Serialize; the JSON string is a convenient full-state
+    // fingerprint.
+    serde_json::to_string(a).expect("serializable analysis")
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::GcpServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+        PlatformKind::AwsGpu,
+    ] {
+        let a = digest(platform, Seed(77));
+        let b = digest(platform, Seed(77));
+        assert_eq!(a, b, "{platform:?} must be deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = digest(PlatformKind::AwsServerless, Seed(1));
+    let b = digest(PlatformKind::AwsServerless, Seed(2));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn workload_generation_is_stable() {
+    // The trace itself is deterministic and CSV round-trips exactly.
+    let a = trace(Seed(5));
+    let b = trace(Seed(5));
+    assert_eq!(a, b);
+    let parsed = WorkloadTrace::from_csv(&a.to_csv()).unwrap();
+    assert_eq!(parsed.arrivals(), a.arrivals());
+}
+
+#[test]
+fn component_substreams_are_isolated() {
+    // Changing only the *model* must not change the generated workload
+    // (workload randomness is a separate substream of the same seed).
+    let seed = Seed(11);
+    let tr = trace(seed);
+    let exec = Executor::default();
+    let r1 = exec
+        .run(
+            &Deployment::new(
+                PlatformKind::AwsCpu,
+                ModelKind::MobileNet,
+                RuntimeKind::Tf115,
+            ),
+            &tr,
+            seed,
+        )
+        .unwrap();
+    let r2 = exec
+        .run(
+            &Deployment::new(PlatformKind::AwsCpu, ModelKind::Vgg, RuntimeKind::Tf115),
+            &tr,
+            seed,
+        )
+        .unwrap();
+    // Same arrivals, same client payload assignment; only service differs.
+    let arr1: Vec<_> = r1
+        .records
+        .iter()
+        .map(|r| (r.arrival, r.payload_bytes))
+        .collect();
+    let arr2: Vec<_> = r2
+        .records
+        .iter()
+        .map(|r| (r.arrival, r.payload_bytes))
+        .collect();
+    assert_eq!(arr1, arr2);
+}

@@ -1,0 +1,137 @@
+//! Robustness under injected faults: degraded storage, crashing instances,
+//! and pathological configurations must degrade results, never break the
+//! accounting invariants (every request resolved, conserved counts,
+//! non-negative cost).
+
+use slsbench::core::{analyze, Deployment, Executor};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::{CloudProvider, Platform, PlatformKind, ServerlessConfig, StorageProfile};
+use slsbench::sim::{Seed, SimDuration};
+use slsbench::workload::{MmppSpec, WorkloadTrace};
+
+const SEED: Seed = Seed(33);
+
+fn trace() -> WorkloadTrace {
+    MmppSpec {
+        name: "faults",
+        rate_high: 40.0,
+        rate_low: 10.0,
+        mean_high_dwell: SimDuration::from_secs(30),
+        mean_low_dwell: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(300),
+    }
+    .generate(SEED)
+}
+
+fn serverless_with(mutate: impl FnOnce(&mut ServerlessConfig)) -> slsbench::core::Analysis {
+    let mut cfg = ServerlessConfig::new(
+        CloudProvider::Aws,
+        ModelKind::MobileNet.profile(),
+        RuntimeKind::Tf115.profile(),
+    );
+    mutate(&mut cfg);
+    let platform = Platform::serverless(cfg, SEED);
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let tr = trace();
+    let run = Executor::default().run_built(&dep, platform, &tr, SEED);
+    analyze(&run)
+}
+
+fn assert_invariants(a: &slsbench::core::Analysis) {
+    assert_eq!(
+        a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
+        a.total,
+        "request conservation"
+    );
+    assert!(a.cost.total().as_dollars() >= 0.0);
+    assert!((0.0..=1.0).contains(&a.success_ratio));
+}
+
+#[test]
+fn degraded_storage_slows_cold_starts_but_everything_resolves() {
+    let healthy = serverless_with(|_| {});
+    let degraded = serverless_with(|cfg| {
+        // A 10x storage brown-out.
+        cfg.params.storage = StorageProfile {
+            base_latency: SimDuration::from_secs(2),
+            bandwidth_mb_per_sec: StorageProfile::AWS.bandwidth_mb_per_sec / 10.0,
+        };
+    });
+    assert_invariants(&healthy);
+    assert_invariants(&degraded);
+    assert!(
+        degraded.cold.download.unwrap() > 4.0 * healthy.cold.download.unwrap(),
+        "slow storage must show in the download sub-stage"
+    );
+    assert!(degraded.cold.e2e_cold.unwrap() > healthy.cold.e2e_cold.unwrap());
+    // Warm path is unaffected.
+    let h = healthy.cold.e2e_warm.unwrap();
+    let d = degraded.cold.e2e_warm.unwrap();
+    assert!(
+        (d - h).abs() < 0.3 * h,
+        "warm path should be untouched: {h} vs {d}"
+    );
+}
+
+#[test]
+fn crashing_instances_cost_extra_cold_starts_not_correctness() {
+    let stable = serverless_with(|_| {});
+    let flaky = serverless_with(|cfg| {
+        cfg.params.crash_on_start_chance = 0.3;
+    });
+    assert_invariants(&flaky);
+    assert!(
+        flaky.cold_started > stable.cold_started,
+        "crashes force replacement spawns: {} vs {}",
+        flaky.cold_started,
+        stable.cold_started
+    );
+    assert!(
+        flaky.success_ratio > 0.95,
+        "the platform must absorb crashes: SR {}",
+        flaky.success_ratio
+    );
+}
+
+#[test]
+fn pathological_crash_rate_still_conserves_requests() {
+    // At 90% crash probability most pipelines restart repeatedly; requests
+    // may time out, but the books must still balance.
+    let a = serverless_with(|cfg| {
+        cfg.params.crash_on_start_chance = 0.9;
+    });
+    assert_invariants(&a);
+}
+
+#[test]
+fn zero_bandwidth_network_is_rejected_loudly() {
+    // Misconfiguration should fail fast, not hang the simulation.
+    let bad = slsbench::platform::NetworkProfile {
+        one_way_latency: SimDuration::from_millis(10),
+        bandwidth_mb_per_sec: 0.0,
+    };
+    let result = std::panic::catch_unwind(|| bad.transfer_time(1000));
+    assert!(result.is_err(), "zero bandwidth must panic");
+}
+
+#[test]
+fn overload_with_tiny_queue_fails_fast_but_cleanly() {
+    use slsbench::platform::VmServerConfig;
+    let mut cfg = VmServerConfig::cpu(
+        CloudProvider::Aws,
+        ModelKind::Vgg.profile(),
+        RuntimeKind::Tf115.profile(),
+    );
+    cfg.queue_capacity = 5;
+    let platform = Platform::vm(cfg, SEED);
+    let dep = Deployment::new(PlatformKind::AwsCpu, ModelKind::Vgg, RuntimeKind::Tf115);
+    let tr = trace();
+    let run = Executor::default().run_built(&dep, platform, &tr, SEED);
+    let a = analyze(&run);
+    assert_invariants(&a);
+    assert!(a.failed_queue_full > a.total / 2, "tiny queue rejects most");
+}

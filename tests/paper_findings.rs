@@ -1,0 +1,396 @@
+//! Integration tests asserting the paper's qualitative findings hold in
+//! the simulation — the "shape" contract of this reproduction. Each test
+//! names the paper section it checks. Workloads are scaled-down versions of
+//! the paper presets to keep the suite fast; the full-scale numbers are in
+//! EXPERIMENTS.md.
+
+use slsbench::core::{analyze, Analysis, Deployment, Executor};
+use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::platform::PlatformKind;
+use slsbench::sim::Seed;
+use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
+
+const SEED: Seed = Seed(152);
+
+fn scaled(preset: MmppPreset, scale: f64) -> WorkloadTrace {
+    let spec = preset.spec();
+    MmppSpec {
+        duration: spec.duration.mul_f64(scale),
+        ..spec
+    }
+    .generate(SEED)
+}
+
+fn run(
+    platform: PlatformKind,
+    model: ModelKind,
+    runtime: RuntimeKind,
+    trace: &WorkloadTrace,
+) -> Analysis {
+    let run = Executor::default()
+        .run(&Deployment::new(platform, model, runtime), trace, SEED)
+        .expect("valid deployment");
+    analyze(&run)
+}
+
+/// Section 4.2 / Figure 5a: AWS serverless beats AWS ManagedML on latency
+/// by a large factor for MobileNet, and on cost.
+#[test]
+fn serverless_beats_managedml_on_aws() {
+    let trace = scaled(MmppPreset::W40, 0.5);
+    let sls = run(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    let mml = run(
+        PlatformKind::AwsManagedMl,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    assert!(
+        mml.mean_latency().unwrap() > 3.0 * sls.mean_latency().unwrap(),
+        "ManagedML {:?} should be far slower than serverless {:?}",
+        mml.mean_latency(),
+        sls.mean_latency()
+    );
+    assert!(sls.cost_dollars() < mml.cost_dollars());
+    assert!(sls.success_ratio > mml.success_ratio - 1e-9);
+}
+
+/// Section 4.2: ManagedML success ratio deteriorates as workload grows.
+#[test]
+fn managedml_success_degrades_with_workload() {
+    let low = run(
+        PlatformKind::AwsManagedMl,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &scaled(MmppPreset::W40, 0.5),
+    );
+    let high = run(
+        PlatformKind::AwsManagedMl,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &scaled(MmppPreset::W200, 0.5),
+    );
+    assert!(
+        high.success_ratio < low.success_ratio,
+        "SR should drop: {} -> {}",
+        low.success_ratio,
+        high.success_ratio
+    );
+}
+
+/// Section 4.3: the CPU server collapses under load — success ratios fall
+/// with the workload (paper: 100% / 44% / 27% for MobileNet).
+#[test]
+fn cpu_server_success_falls_with_workload() {
+    let mut srs = Vec::new();
+    for preset in MmppPreset::ALL {
+        let a = run(
+            PlatformKind::AwsCpu,
+            ModelKind::MobileNet,
+            RuntimeKind::Tf115,
+            &scaled(preset, 0.5),
+        );
+        srs.push(a.success_ratio);
+    }
+    assert!(srs[0] > 0.95, "workload-40 should mostly succeed: {srs:?}");
+    assert!(
+        srs[0] > srs[1] && srs[1] > srs[2],
+        "monotone collapse: {srs:?}"
+    );
+    assert!(srs[2] < 0.5, "workload-200 should mostly fail: {srs:?}");
+}
+
+/// Section 4.3: the CPU server also collapses with model complexity at a
+/// fixed workload (paper: 100% / 53% / 6% at workload-40).
+#[test]
+fn cpu_server_success_falls_with_model_size() {
+    let trace = scaled(MmppPreset::W40, 0.5);
+    let mn = run(
+        PlatformKind::AwsCpu,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    let al = run(
+        PlatformKind::AwsCpu,
+        ModelKind::Albert,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    let vgg = run(
+        PlatformKind::AwsCpu,
+        ModelKind::Vgg,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    assert!(mn.success_ratio > 0.95);
+    assert!(al.success_ratio < mn.success_ratio);
+    assert!(vgg.success_ratio < al.success_ratio);
+    assert!(vgg.success_ratio < 0.3);
+}
+
+/// Section 4.4 / Figure 9: the GPU server wins at low load but loses to
+/// warmed-up serverless at high load (the paper's headline 77.5x claim).
+#[test]
+fn gpu_crossover_with_workload() {
+    let low = scaled(MmppPreset::W40, 0.5);
+    let high = scaled(MmppPreset::W200, 0.5);
+    let gpu_low = run(
+        PlatformKind::AwsGpu,
+        ModelKind::Vgg,
+        RuntimeKind::Tf115,
+        &low,
+    );
+    let sls_low = run(
+        PlatformKind::AwsServerless,
+        ModelKind::Vgg,
+        RuntimeKind::Tf115,
+        &low,
+    );
+    assert!(
+        gpu_low.mean_latency().unwrap() < sls_low.mean_latency().unwrap(),
+        "GPU should win at workload-40"
+    );
+
+    let gpu_high = run(
+        PlatformKind::AwsGpu,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &high,
+    );
+    let sls_high = run(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &high,
+    );
+    assert!(
+        sls_high.mean_latency().unwrap() * 5.0 < gpu_high.mean_latency().unwrap(),
+        "serverless should win big at workload-200: sls {:?} gpu {:?}",
+        sls_high.mean_latency(),
+        gpu_high.mean_latency()
+    );
+}
+
+/// Section 1: serverless latency is insensitive to the workload level —
+/// consistent performance under bursts.
+#[test]
+fn serverless_latency_is_workload_insensitive() {
+    let lats: Vec<f64> = MmppPreset::ALL
+        .iter()
+        .map(|&p| {
+            run(
+                PlatformKind::AwsServerless,
+                ModelKind::MobileNet,
+                RuntimeKind::Tf115,
+                &scaled(p, 0.5),
+            )
+            .mean_latency()
+            .unwrap()
+        })
+        .collect();
+    let max = lats.iter().cloned().fold(f64::MIN, f64::max);
+    let min = lats.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 3.0,
+        "serverless latency should be stable across workloads: {lats:?}"
+    );
+}
+
+/// Section 5.1: AWS serverless outperforms GCP serverless on latency and
+/// cost, and GCP over-provisions more instances.
+#[test]
+fn aws_serverless_beats_gcp_serverless() {
+    let trace = scaled(MmppPreset::W120, 0.5);
+    let aws = run(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    let gcp = run(
+        PlatformKind::GcpServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+        &trace,
+    );
+    assert!(aws.mean_latency().unwrap() < gcp.mean_latency().unwrap());
+    assert!(aws.cost_dollars() < gcp.cost_dollars());
+    assert!(aws.cold.e2e_cold.unwrap() < gcp.cold.e2e_cold.unwrap());
+    assert!(aws.cold_started < gcp.cold_started);
+}
+
+/// Figure 10: the import sub-stage dominates TF cold starts on both clouds.
+#[test]
+fn import_dominates_tf_cold_start() {
+    let trace = scaled(MmppPreset::W120, 0.3);
+    for platform in [PlatformKind::AwsServerless, PlatformKind::GcpServerless] {
+        let a = run(platform, ModelKind::MobileNet, RuntimeKind::Tf115, &trace);
+        let c = a.cold;
+        assert!(c.import.unwrap() > c.boot.unwrap());
+        assert!(c.import.unwrap() > c.download.unwrap());
+        assert!(c.import.unwrap() > c.load.unwrap());
+        // Cold predict carries the lazy-init penalty.
+        assert!(c.predict_cold.unwrap() > 3.0 * c.predict_warm.unwrap());
+    }
+}
+
+/// Section 5.2 / Table 2: ORT1.4 beats TF1.15 on both latency and cost,
+/// with a bigger win for MobileNet than for VGG.
+#[test]
+fn ort_dominates_tf_with_larger_win_for_small_models() {
+    let trace = scaled(MmppPreset::W120, 0.5);
+    let speedup = |model: ModelKind| {
+        let tf = run(
+            PlatformKind::GcpServerless,
+            model,
+            RuntimeKind::Tf115,
+            &trace,
+        );
+        let ort = run(
+            PlatformKind::GcpServerless,
+            model,
+            RuntimeKind::Ort14,
+            &trace,
+        );
+        assert!(
+            ort.cost_dollars() < tf.cost_dollars(),
+            "{model}: ORT must be cheaper"
+        );
+        tf.mean_latency().unwrap() / ort.mean_latency().unwrap()
+    };
+    let mn = speedup(ModelKind::MobileNet);
+    let vgg = speedup(ModelKind::Vgg);
+    assert!(
+        mn > 1.0 && vgg > 1.0,
+        "ORT faster for both: {mn:.2} {vgg:.2}"
+    );
+    assert!(
+        mn > vgg,
+        "MobileNet should benefit more: {mn:.2} vs {vgg:.2}"
+    );
+}
+
+/// Section 5.3 / Figure 15: more memory cuts VGG latency sharply, and a
+/// mid-size memory can even reduce cost.
+#[test]
+fn memory_scaling_behaves_like_fig15() {
+    let trace = scaled(MmppPreset::W120, 0.5);
+    let exec = Executor::default();
+    let at = |mb: f64| {
+        let d = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::Vgg,
+            RuntimeKind::Tf115,
+        )
+        .with_memory_mb(mb);
+        analyze(&exec.run(&d, &trace, SEED).unwrap())
+    };
+    let m2 = at(2048.0);
+    let m4 = at(4096.0);
+    let m8 = at(8192.0);
+    assert!(m4.mean_latency().unwrap() < m2.mean_latency().unwrap());
+    assert!(m8.mean_latency().unwrap() < m4.mean_latency().unwrap());
+    // Fewer cold-started instances at larger memory (faster handlers).
+    assert!(m8.cold_started <= m2.cold_started);
+}
+
+/// Section 5.5 / Figure 17: batching cuts cost but inflates latency.
+#[test]
+fn batching_trades_latency_for_cost() {
+    let trace = scaled(MmppPreset::W120, 0.5);
+    let exec = Executor::default();
+    let base = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::Vgg,
+        RuntimeKind::Tf115,
+    );
+    let single = analyze(&exec.run(&base, &trace, SEED).unwrap());
+    let batched = analyze(&exec.run(&base.with_batch_size(4), &trace, SEED).unwrap());
+    assert!(batched.cost_dollars() < single.cost_dollars());
+    assert!(batched.mean_latency().unwrap() > single.mean_latency().unwrap());
+    assert!(batched.invocations < single.invocations / 3);
+}
+
+/// Section 5.4 / Figure 16: provisioned concurrency adds reservation cost
+/// without reliably improving latency.
+#[test]
+fn provisioned_concurrency_is_not_a_silver_bullet() {
+    let trace = scaled(MmppPreset::W120, 0.5);
+    let exec = Executor::default();
+
+    // Cost: for MobileNet the reservation fee dominates the tiny compute
+    // bill, so provisioned concurrency makes the run more expensive.
+    let mn = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let mn_none = analyze(&exec.run(&mn, &trace, SEED).unwrap());
+    let mn_pc = analyze(
+        &exec
+            .run(&mn.with_provisioned_concurrency(16), &trace, SEED)
+            .unwrap(),
+    );
+    assert!(mn_pc.cost_dollars() > mn_none.cost_dollars());
+
+    // Latency: for VGG the paper observed no reliable improvement (and
+    // sometimes more cold starts from the more aggressive scaling policy).
+    let vgg = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::Vgg,
+        RuntimeKind::Tf115,
+    );
+    let vgg_none = analyze(&exec.run(&vgg, &trace, SEED).unwrap());
+    let vgg_pc = analyze(
+        &exec
+            .run(&vgg.with_provisioned_concurrency(16), &trace, SEED)
+            .unwrap(),
+    );
+    assert!(vgg_pc.mean_latency().unwrap() > vgg_none.mean_latency().unwrap() * 0.8);
+}
+
+/// Table 1 cost ordering within AWS serverless: bigger models and bigger
+/// workloads cost more.
+#[test]
+fn serverless_cost_monotone_in_model_and_workload() {
+    let mut by_model = Vec::new();
+    let trace = scaled(MmppPreset::W120, 0.5);
+    for model in ModelKind::ALL {
+        by_model.push(
+            run(
+                PlatformKind::AwsServerless,
+                model,
+                RuntimeKind::Tf115,
+                &trace,
+            )
+            .cost_dollars(),
+        );
+    }
+    assert!(
+        by_model[0] < by_model[1] && by_model[1] < by_model[2],
+        "{by_model:?}"
+    );
+
+    let mut by_load = Vec::new();
+    for preset in MmppPreset::ALL {
+        by_load.push(
+            run(
+                PlatformKind::AwsServerless,
+                ModelKind::MobileNet,
+                RuntimeKind::Tf115,
+                &scaled(preset, 0.5),
+            )
+            .cost_dollars(),
+        );
+    }
+    assert!(
+        by_load[0] < by_load[1] && by_load[1] < by_load[2],
+        "{by_load:?}"
+    );
+}
