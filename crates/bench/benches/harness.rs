@@ -1,0 +1,72 @@
+//! Sequential vs parallel run-harness bench: replicates one deployment
+//! across 10 seeds (workload-40 at scale 0.1) with `--jobs 1` and with all
+//! cores, and prints the wall-clock ratio. On an n-core machine the
+//! parallel path should approach n× (≥2× on 4 cores); on a single core the
+//! ratio is ~1× — the pool adds no measurable overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slsb_core::{replicate_jobs, Deployment, Executor, Jobs, WorkloadSpec};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_workload::MmppPreset;
+use std::time::{Duration, Instant};
+
+const SEEDS: usize = 10;
+const BASE_SEED: u64 = 100;
+
+fn deployment() -> Deployment {
+    Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Ort14,
+    )
+}
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::Preset {
+        which: MmppPreset::W40,
+        scale: 0.1,
+    }
+}
+
+fn run(jobs: Jobs) -> Duration {
+    let started = Instant::now();
+    let r = replicate_jobs(
+        &Executor::default(),
+        &deployment(),
+        workload(),
+        BASE_SEED,
+        SEEDS,
+        jobs,
+    )
+    .expect("valid deployment");
+    assert_eq!(r.replicas, SEEDS);
+    started.elapsed()
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(10));
+    group.bench_function("replicate_seq", |b| b.iter(|| run(Jobs::new(1))));
+    group.bench_function("replicate_par", |b| b.iter(|| run(Jobs::available())));
+    group.finish();
+
+    // Headline number: one timed pass each, sequential vs parallel.
+    let seq = run(Jobs::new(1));
+    let par = run(Jobs::available());
+    println!(
+        "harness: {} seeds, W40 @ 0.1 — sequential {:.2}s, parallel {:.2}s \
+         ({} workers) — speedup {:.2}x",
+        SEEDS,
+        seq.as_secs_f64(),
+        par.as_secs_f64(),
+        Jobs::available().get(),
+        seq.as_secs_f64() / par.as_secs_f64(),
+    );
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! output directory (default `results/`).
 
 use slsb_bench::experiments::{run_experiment, ReproConfig};
-use slsb_core::{ExperimentId, Scenario};
+use slsb_core::{parallel_map, ExperimentId, Jobs, Scenario};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,13 +20,16 @@ struct Args {
     scenarios: Vec<PathBuf>,
     cfg: ReproConfig,
     out: Option<PathBuf>,
+    jobs: Jobs,
 }
 
 fn usage() -> String {
     let ids: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.slug()).collect();
     format!(
-        "usage: repro <experiment|all|list> [--scale F] [--seed N] [--out DIR]\n\
+        "usage: repro <experiment|all|list> [--scale F] [--seed N] [--out DIR] [--jobs N]\n\
                 repro run-scenario <file.json> [...]\n\
+         --jobs N runs N experiments in parallel (default: all cores; output\n\
+         is identical to --jobs 1 for any N)\n\
          experiments: {}",
         ids.join(", ")
     )
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scenarios = Vec::new();
     let mut cfg = ReproConfig::default();
     let mut out = Some(PathBuf::from("results"));
+    let mut jobs = Jobs::available();
     let mut listed = false;
 
     while let Some(a) = args.next() {
@@ -64,6 +68,14 @@ fn parse_args() -> Result<Args, String> {
                 out = Some(PathBuf::from(v));
             }
             "--no-out" => out = None,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
+                if n == 0 {
+                    return Err("jobs must be at least 1".into());
+                }
+                jobs = Jobs::new(n);
+            }
             slug => {
                 let id = ExperimentId::from_slug(slug)
                     .ok_or_else(|| format!("unknown experiment {slug:?}\n{}", usage()))?;
@@ -85,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
         scenarios,
         cfg,
         out,
+        jobs,
     })
 }
 
@@ -141,15 +154,18 @@ fn main() -> ExitCode {
         "# slsbench repro — seed {}, scale {}\n",
         args.cfg.seed, args.cfg.scale
     );
-    for id in &args.targets {
+    // Experiment modules are independent simulations; fan them across
+    // cores, then print and persist in target order so the output stream
+    // matches --jobs 1 exactly.
+    let outputs = parallel_map(args.jobs, &args.targets, |_, &id| {
         let started = std::time::Instant::now();
-        let out = run_experiment(*id, &args.cfg);
+        let out = run_experiment(id, &args.cfg);
+        (out, started.elapsed())
+    });
+
+    for (id, (out, elapsed)) in args.targets.iter().zip(&outputs) {
         println!("{}", out.to_markdown());
-        eprintln!(
-            "[{}] done in {:.1}s",
-            id.slug(),
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("[{}] done in {:.1}s", id.slug(), elapsed.as_secs_f64());
 
         if let Some(dir) = &args.out {
             if let Err(e) = std::fs::create_dir_all(dir) {

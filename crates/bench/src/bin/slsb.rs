@@ -13,8 +13,8 @@
 //! `run` replays a declarative JSON scenario.
 
 use slsb_core::{
-    analyze, ascii_chart, explore, fmt_money, fmt_opt_secs, fmt_pct, replicate, Deployment,
-    Executor, ExplorerGrid, Scenario, Table, WorkloadSpec,
+    analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
+    Deployment, Executor, ExplorerGrid, Jobs, Scenario, Table, WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::PlatformKind;
@@ -24,9 +24,12 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
-  slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F]
-  slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F]
+  slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
+  slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N]
   slsb run       <scenario.json>
+
+--jobs N runs N simulations in parallel (default: all cores; results are
+bit-identical to --jobs 1 for any N).
 
 platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
 
@@ -40,6 +43,7 @@ struct Options {
     scale: f64,
     slo: f64,
     reps: usize,
+    jobs: Jobs,
 }
 
 impl Default for Options {
@@ -53,6 +57,7 @@ impl Default for Options {
             scale: 1.0,
             slo: 0.5,
             reps: 5,
+            jobs: Jobs::available(),
         }
     }
 }
@@ -127,6 +132,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("reps must be at least 1".into());
                 }
             }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad jobs {v:?}"))?;
+                if n == 0 {
+                    return Err("jobs must be at least 1".into());
+                }
+                o.jobs = Jobs::new(n);
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -189,12 +202,13 @@ fn cmd_explore(o: &Options) -> Result<(), String> {
     let seed = Seed(o.seed);
     let trace = workload_spec(o).generate(seed.substream("cli-workload"));
     let base = Deployment::new(PlatformKind::AwsServerless, o.model, RuntimeKind::Tf115);
-    let exploration = explore(
+    let exploration = explore_jobs(
         &Executor::default(),
         base,
         &ExplorerGrid::default(),
         &trace,
         seed,
+        o.jobs,
     )
     .map_err(|e| e.to_string())?;
 
@@ -229,8 +243,15 @@ fn cmd_explore(o: &Options) -> Result<(), String> {
 fn cmd_replicate(o: &Options) -> Result<(), String> {
     let platform = o.platform.ok_or("replicate needs --platform (see usage)")?;
     let dep = Deployment::new(platform, o.model, o.runtime);
-    let r = replicate(&Executor::default(), &dep, workload_spec(o), o.seed, o.reps)
-        .map_err(|e| e.to_string())?;
+    let r = replicate_jobs(
+        &Executor::default(),
+        &dep,
+        workload_spec(o),
+        o.seed,
+        o.reps,
+        o.jobs,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{} x {} x {} across {} seeds (base {}):\n",
         platform.label(),
@@ -326,6 +347,8 @@ mod tests {
             "0.2",
             "--reps",
             "3",
+            "--jobs",
+            "4",
         ]))
         .unwrap();
         assert_eq!(o.model, ModelKind::Vgg);
@@ -336,6 +359,7 @@ mod tests {
         assert_eq!(o.scale, 0.25);
         assert_eq!(o.slo, 0.2);
         assert_eq!(o.reps, 3);
+        assert_eq!(o.jobs.get(), 4);
     }
 
     #[test]
@@ -344,6 +368,7 @@ mod tests {
         assert!(parse_options(&strs(&["--workload", "w999"])).is_err());
         assert!(parse_options(&strs(&["--scale", "-1"])).is_err());
         assert!(parse_options(&strs(&["--reps", "0"])).is_err());
+        assert!(parse_options(&strs(&["--jobs", "0"])).is_err());
         assert!(parse_options(&strs(&["--bogus"])).is_err());
         assert!(parse_options(&strs(&["--seed"])).is_err());
     }

@@ -23,9 +23,10 @@ pub mod sweeps;
 pub mod timelines;
 pub mod workloads;
 
-use slsb_core::{analyze, Analysis, Deployment, Executor, ExperimentId, RunResult, Table};
+use slsb_core::{analyze, Analysis, Deployment, Executor, ExperimentId, RunResult, Table, TraceCache};
 use slsb_sim::Seed;
-use slsb_workload::{MmppPreset, MmppSpec, WorkloadTrace};
+use slsb_workload::{MmppPreset, WorkloadTrace};
+use std::sync::Arc;
 
 /// Knobs shared by every experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,19 +65,17 @@ impl ReproConfig {
         Seed(self.seed)
     }
 
-    /// Generates (and scales) a workload trace for `preset`.
-    pub fn trace(&self, preset: MmppPreset) -> WorkloadTrace {
+    /// The workload trace for `preset` at this config's seed and scale,
+    /// served from the process-wide [`TraceCache`]. Experiments replay the
+    /// same three presets for almost every figure; the first request per
+    /// `(seed, preset, scale)` generates, the rest share the realization.
+    pub fn trace(&self, preset: MmppPreset) -> Arc<WorkloadTrace> {
         assert!(
             self.scale.is_finite() && self.scale > 0.0,
             "invalid scale: {}",
             self.scale
         );
-        let spec = preset.spec();
-        let scaled = MmppSpec {
-            duration: spec.duration.mul_f64(self.scale),
-            ..spec
-        };
-        scaled.generate(self.seed().substream("workload"))
+        TraceCache::preset(self.seed().substream("workload"), preset, self.scale)
     }
 
     /// Runs `deployment` on `preset` and analyzes it.

@@ -7,6 +7,8 @@
 use crate::analyzer::analyze;
 use crate::executor::Executor;
 use crate::plan::{Deployment, PlanError};
+use crate::runner::{parallel_map, Jobs};
+use serde::{Deserialize, Serialize};
 use slsb_model::RuntimeKind;
 use slsb_sim::Seed;
 use slsb_workload::WorkloadTrace;
@@ -33,7 +35,7 @@ impl Default for ExplorerGrid {
 }
 
 /// One evaluated configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Candidate {
     /// The configuration.
     pub deployment: Deployment,
@@ -48,7 +50,7 @@ pub struct Candidate {
 }
 
 /// The sweep's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Exploration {
     /// All evaluated candidates.
     pub candidates: Vec<Candidate>,
@@ -97,7 +99,11 @@ impl Exploration {
     }
 }
 
-/// Sweeps `grid` around `base` (platform and model fixed) on `trace`.
+/// Sweeps `grid` around `base` (platform and model fixed) on `trace`,
+/// fanning grid cells across all available cores.
+///
+/// Identical to [`explore_jobs`] with [`Jobs::available`]; results are
+/// bit-identical for any worker count.
 ///
 /// # Errors
 /// Fails when a generated deployment is invalid (e.g. sweeping runtimes on
@@ -109,7 +115,30 @@ pub fn explore(
     trace: &WorkloadTrace,
     seed: Seed,
 ) -> Result<Exploration, PlanError> {
-    let mut candidates = Vec::new();
+    explore_jobs(executor, base, grid, trace, seed, Jobs::available())
+}
+
+/// [`explore`] with an explicit worker count (`--jobs`).
+///
+/// Grid cells are enumerated in the same memory × runtime × batch order as
+/// the sequential sweep, evaluated on `jobs` workers, and collected into a
+/// slot vector indexed by cell number — so `candidates` is byte-identical
+/// to the sequential path (`jobs = 1`) for any worker count.
+///
+/// # Errors
+/// Fails when a generated deployment is invalid (first invalid cell in
+/// grid order, matching the sequential loop).
+pub fn explore_jobs(
+    executor: &Executor,
+    base: Deployment,
+    grid: &ExplorerGrid,
+    trace: &WorkloadTrace,
+    seed: Seed,
+    jobs: Jobs,
+) -> Result<Exploration, PlanError> {
+    let mut cells = Vec::with_capacity(
+        grid.memory_mb.len() * grid.runtimes.len() * grid.batch_sizes.len(),
+    );
     for &memory_mb in &grid.memory_mb {
         for &runtime in &grid.runtimes {
             for &batch in &grid.batch_sizes {
@@ -117,18 +146,26 @@ pub fn explore(
                 d.memory_mb = memory_mb;
                 d.runtime = runtime;
                 d.batch_size = batch;
-                let run = executor.run(&d, trace, seed)?;
-                let a = analyze(&run);
-                candidates.push(Candidate {
-                    deployment: d,
-                    mean_latency: a.mean_latency().unwrap_or(f64::INFINITY),
-                    p95_latency: a.latency.map(|l| l.p95).unwrap_or(f64::INFINITY),
-                    success_ratio: a.success_ratio,
-                    cost: a.cost_dollars(),
-                });
+                cells.push(d);
             }
         }
     }
+
+    let evaluated = parallel_map(jobs, &cells, |_, d| {
+        let run = executor.run(d, trace, seed)?;
+        let a = analyze(&run);
+        Ok(Candidate {
+            deployment: *d,
+            mean_latency: a.mean_latency().unwrap_or(f64::INFINITY),
+            p95_latency: a.latency.map(|l| l.p95).unwrap_or(f64::INFINITY),
+            success_ratio: a.success_ratio,
+            cost: a.cost_dollars(),
+        })
+    });
+
+    let candidates = evaluated
+        .into_iter()
+        .collect::<Result<Vec<_>, PlanError>>()?;
     Ok(Exploration { candidates })
 }
 

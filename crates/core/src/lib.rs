@@ -18,7 +18,11 @@
 //! - [`experiment`] — the registry mapping every table and figure to a
 //!   reproduction id;
 //! - [`scenario`] — JSON-declarative experiments (save, share, replay);
-//! - [`replication`] — n-seed replication with mean ± std aggregation.
+//! - [`replication`] — n-seed replication with mean ± std aggregation;
+//! - [`runner`] — the parallel run harness: a std-only work-stealing pool
+//!   that fans independent simulations across cores with bit-identical,
+//!   seed-order-stable results, plus the process-wide workload
+//!   [`TraceCache`].
 //!
 //! ```
 //! use slsb_core::{analyze, Deployment, Executor};
@@ -46,14 +50,16 @@ pub mod explorer;
 pub mod plan;
 pub mod replication;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 
 pub use analyzer::{analyze, analyze_with_bucket, Analysis, ColdStartStats, LatencyStats};
 pub use batching::{plan_invocations, BatchPolicy, Invocation};
 pub use executor::{Executor, ExecutorConfig, RequestRecord, RunResult};
 pub use experiment::ExperimentId;
-pub use explorer::{explore, Candidate, Exploration, ExplorerGrid};
+pub use explorer::{explore, explore_jobs, Candidate, Exploration, ExplorerGrid};
 pub use plan::{Deployment, PlanError};
-pub use replication::{replicate, MetricSummary, Replication};
+pub use replication::{replicate, replicate_jobs, MetricSummary, Replication};
 pub use report::{ascii_chart, fmt_money, fmt_opt_secs, fmt_pct, fmt_secs, Table};
+pub use runner::{parallel_map, run_jobs, Jobs, RunJob, TraceCache};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};

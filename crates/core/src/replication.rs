@@ -7,6 +7,7 @@
 use crate::analyzer::{analyze, Analysis};
 use crate::executor::Executor;
 use crate::plan::{Deployment, PlanError};
+use crate::runner::{parallel_map, Jobs};
 use crate::scenario::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 use slsb_sim::{Accumulator, Seed};
@@ -60,7 +61,10 @@ pub struct Replication {
 }
 
 /// Runs `deployment` on `workload` with seeds `base_seed..base_seed + n`
-/// and aggregates.
+/// and aggregates, fanning replicas across all available cores.
+///
+/// Identical to [`replicate_jobs`] with [`Jobs::available`]; results are
+/// bit-identical for any worker count.
 ///
 /// # Errors
 /// Fails when the deployment is invalid.
@@ -74,7 +78,45 @@ pub fn replicate(
     base_seed: u64,
     replicas: usize,
 ) -> Result<Replication, PlanError> {
+    replicate_jobs(
+        executor,
+        deployment,
+        workload,
+        base_seed,
+        replicas,
+        Jobs::available(),
+    )
+}
+
+/// [`replicate`] with an explicit worker count (`--jobs`).
+///
+/// Each replica is an independent simulation of its own seed, so replicas
+/// fan out across `jobs` workers; per-replica analyses land in a slot
+/// vector indexed by replica number and are aggregated in seed order, so
+/// the result is byte-identical to the sequential path (`jobs = 1`).
+///
+/// # Errors
+/// Fails when the deployment is invalid (first failing seed in seed
+/// order, matching the sequential loop).
+///
+/// # Panics
+/// Panics if `replicas` is zero.
+pub fn replicate_jobs(
+    executor: &Executor,
+    deployment: &Deployment,
+    workload: WorkloadSpec,
+    base_seed: u64,
+    replicas: usize,
+    jobs: Jobs,
+) -> Result<Replication, PlanError> {
     assert!(replicas > 0, "zero replicas");
+
+    let seeds: Vec<Seed> = (0..replicas).map(|i| Seed(base_seed + i as u64)).collect();
+    let per_seed = parallel_map(jobs, &seeds, |_, &seed| {
+        let trace = workload.generate(seed.substream("replication-workload"));
+        executor.run(deployment, &trace, seed).map(|run| analyze(&run))
+    });
+
     let mut lat = Accumulator::new();
     let mut p99 = Accumulator::new();
     let mut sr = Accumulator::new();
@@ -82,11 +124,8 @@ pub fn replicate(
     let mut cold = Accumulator::new();
     let mut analyses = Vec::with_capacity(replicas);
 
-    for i in 0..replicas {
-        let seed = Seed(base_seed + i as u64);
-        let trace = workload.generate(seed.substream("replication-workload"));
-        let run = executor.run(deployment, &trace, seed)?;
-        let a = analyze(&run);
+    for result in per_seed {
+        let a = result?;
         if let Some(l) = a.latency {
             lat.add(l.mean);
             p99.add(l.p99);

@@ -214,3 +214,24 @@ proptest! {
         prop_assert!(report.instance_seconds >= report.busy_seconds);
     }
 }
+
+/// Regression pinned from `properties.proptest-regressions` (shrunk case
+/// `times = [119.00614837896505], seed = 0`): a single request arriving at
+/// the very edge of the 120-second window must still get exactly one
+/// successful, causal response. The vendored proptest runner does not
+/// replay `.proptest-regressions` files, so the case lives here explicitly.
+#[test]
+fn regression_single_late_arrival_at_window_edge() {
+    let t = 119.006_148_378_965_05;
+    let cfg = ServerlessConfig::new(
+        CloudProvider::Aws,
+        ModelKind::MobileNet.profile(),
+        RuntimeKind::Tf115.profile(),
+    );
+    let mut h = PlatformHarness::serverless(cfg, Seed(0));
+    h.submit_at(t, request(0, t));
+    let rs = h.run();
+    assert_eq!(rs.len(), 1);
+    assert!(rs[0].outcome.is_success());
+    assert!(rs[0].completed_at >= SimTime::from_secs_f64(t));
+}

@@ -5,11 +5,14 @@
 //! `seed.substream("coldstart")`, …) so that adding a random draw in one
 //! component never perturbs the sequence seen by another — a prerequisite
 //! for meaningful A/B comparisons between platform configurations.
+//!
+//! The generator is a self-contained xoshiro256++ (seeded by SplitMix64
+//! expansion) with inverse-transform exponential and Box–Muller normal
+//! samplers, so the crate has no external RNG dependency and every draw is
+//! a pure function of the seed — the property the parallel run harness
+//! relies on for bit-identical results regardless of thread count.
 
 use crate::time::SimDuration;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use rand_distr::{Distribution, Exp, LogNormal, Normal};
 
 /// An experiment seed from which component substreams are derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,29 +43,56 @@ impl Seed {
 
     /// Builds the RNG for this (sub)stream.
     pub fn rng(self) -> SimRng {
+        // Expand the 64-bit seed into xoshiro256++ state via SplitMix64,
+        // the seeding procedure recommended by the xoshiro authors.
+        let mut sm = self.0;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64_mix(sm)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(self.0),
+            state: [next(), next(), next(), next()],
         }
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+fn splitmix64(z: u64) -> u64 {
+    splitmix64_mix(z.wrapping_add(0x9e37_79b9_7f4a_7c15))
+}
+
+fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
 
 /// Seeded random source with samplers for the distributions the simulators
-/// use.
+/// use. Internally a xoshiro256++ generator.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
+    /// Next raw 64-bit draw (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits give every representable double in [0, 1) at the
+        // standard spacing.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -71,7 +101,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.random_range(0..n)
+        // Widening-multiply range reduction (Lemire); bias is < 2^-64 per
+        // draw, far below anything a simulation statistic can observe.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -88,8 +120,10 @@ impl SimRng {
             rate_per_sec.is_finite() && rate_per_sec > 0.0,
             "invalid rate: {rate_per_sec}"
         );
-        let d = Exp::new(rate_per_sec).expect("valid exp rate");
-        SimDuration::from_secs_f64(d.sample(&mut self.inner))
+        // Inverse transform: -ln(1 - U) / λ, with 1 - U > 0 guaranteed
+        // because uniform() < 1.
+        let u = self.uniform();
+        SimDuration::from_secs_f64(-(1.0 - u).ln() / rate_per_sec)
     }
 
     /// Exponential sample with the given mean.
@@ -99,6 +133,20 @@ impl SimRng {
             return SimDuration::ZERO;
         }
         self.exp_interval(1.0 / m)
+    }
+
+    /// Standard normal draw (Box–Muller; the second variate is discarded so
+    /// each call consumes exactly two uniforms — stream position never
+    /// depends on call history).
+    fn standard_normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Log-normal duration around `median` with shape `sigma` (σ of the
@@ -112,8 +160,8 @@ impl SimRng {
         if sigma <= 0.0 {
             return median;
         }
-        let d = LogNormal::new(m.ln(), sigma).expect("valid lognormal");
-        SimDuration::from_secs_f64(d.sample(&mut self.inner))
+        let z = self.standard_normal();
+        SimDuration::from_secs_f64((m.ln() + sigma * z).exp())
     }
 
     /// Normal duration clamped at zero. For mild symmetric jitter.
@@ -122,8 +170,8 @@ impl SimRng {
         if s <= 0.0 {
             return mean;
         }
-        let d = Normal::new(mean.as_secs_f64(), s).expect("valid normal");
-        SimDuration::from_secs_f64(d.sample(&mut self.inner).max(0.0))
+        let z = self.standard_normal();
+        SimDuration::from_secs_f64((mean.as_secs_f64() + s * z).max(0.0))
     }
 
     /// Uniform duration in `[lo, hi]`.
@@ -135,7 +183,9 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        SimDuration::from_micros(self.inner.random_range(lo.as_micros()..=hi.as_micros()))
+        let span = hi.as_micros() - lo.as_micros() + 1;
+        let offset = (((self.next_u64() as u128) * (span as u128)) >> 64) as u64;
+        SimDuration::from_micros(lo.as_micros() + offset)
     }
 }
 
@@ -230,5 +280,29 @@ mod tests {
             seen[rng.index(8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_duration_stays_in_bounds() {
+        let mut rng = Seed(13).rng();
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        for _ in 0..1000 {
+            let d = rng.uniform_duration(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn normal_is_roughly_symmetric() {
+        let mut rng = Seed(17).rng();
+        let mean = SimDuration::from_millis(500);
+        let sd = SimDuration::from_millis(50);
+        let n = 10_000;
+        let above = (0..n)
+            .filter(|_| rng.normal_clamped(mean, sd) > mean)
+            .count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "above-mean fraction {frac}");
     }
 }

@@ -117,3 +117,19 @@ proptest! {
         }
     }
 }
+
+/// Regression pinned from `properties.proptest-regressions` (shrunk case
+/// `seed = 77` of the count-near-expectation property). The vendored
+/// proptest runner does not replay `.proptest-regressions` files, so the
+/// case lives here explicitly.
+#[test]
+fn regression_count_near_expectation_seed_77() {
+    let s = spec(80.0, 20.0, 600);
+    let batch = 6;
+    let mean = (0..batch)
+        .map(|i| s.generate(Seed(77 * 1000 + i)).len() as f64)
+        .sum::<f64>()
+        / batch as f64;
+    let e = s.expected_requests();
+    assert!((mean - e).abs() / e < 0.35, "mean {mean} vs expectation {e}");
+}

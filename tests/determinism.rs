@@ -2,11 +2,13 @@
 //! pipeline — workload generation, execution, analysis, rendering — is
 //! bit-for-bit identical across runs; different seeds differ.
 
-use slsbench::core::{analyze, Deployment, Executor};
+use slsbench::core::{
+    analyze, explore_jobs, replicate_jobs, Deployment, Executor, ExplorerGrid, Jobs, WorkloadSpec,
+};
 use slsbench::model::{ModelKind, RuntimeKind};
 use slsbench::platform::PlatformKind;
 use slsbench::sim::{Seed, SimDuration};
-use slsbench::workload::{MmppSpec, WorkloadTrace};
+use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
 
 fn trace(seed: Seed) -> WorkloadTrace {
     MmppSpec {
@@ -108,4 +110,49 @@ fn component_substreams_are_isolated() {
         .map(|r| (r.arrival, r.payload_bytes))
         .collect();
     assert_eq!(arr1, arr2);
+}
+
+#[test]
+fn replication_is_identical_across_worker_counts() {
+    // The parallel harness contract: fanning replicas across threads must
+    // not change a single byte of the result. Serialized JSON is the
+    // strictest equality we can check — field order, float formatting and
+    // all.
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Ort14,
+    );
+    let workload = WorkloadSpec::Preset {
+        which: MmppPreset::W40,
+        scale: 0.05,
+    };
+    let exec = Executor::default();
+    let seq = replicate_jobs(&exec, &dep, workload, 400, 6, Jobs::new(1)).unwrap();
+    let par = replicate_jobs(&exec, &dep, workload, 400, 6, Jobs::new(8)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "replicate --jobs 8 must be byte-identical to --jobs 1"
+    );
+}
+
+#[test]
+fn exploration_is_identical_across_worker_counts() {
+    let seed = Seed(23);
+    let tr = trace(seed);
+    let base = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let exec = Executor::default();
+    let grid = ExplorerGrid::default();
+    let seq = explore_jobs(&exec, base, &grid, &tr, seed, Jobs::new(1)).unwrap();
+    let par = explore_jobs(&exec, base, &grid, &tr, seed, Jobs::new(8)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "explore --jobs 8 must be byte-identical to --jobs 1"
+    );
 }

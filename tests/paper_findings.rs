@@ -341,18 +341,38 @@ fn provisioned_concurrency_is_not_a_silver_bullet() {
 
     // Latency: for VGG the paper observed no reliable improvement (and
     // sometimes more cold starts from the more aggressive scaling policy).
+    // The ratio depends mostly on the trace realization (a single trace can
+    // sit right at the threshold), so average over a small batch of
+    // workload draws; the claim is about the expectation, not one trace.
     let vgg = Deployment::new(
         PlatformKind::AwsServerless,
         ModelKind::Vgg,
         RuntimeKind::Tf115,
     );
-    let vgg_none = analyze(&exec.run(&vgg, &trace, SEED).unwrap());
-    let vgg_pc = analyze(
-        &exec
-            .run(&vgg.with_provisioned_concurrency(16), &trace, SEED)
-            .unwrap(),
+    let mut ratio_sum = 0.0;
+    let draws = 4;
+    for i in 0..draws {
+        let seed = Seed(SEED.0 + i);
+        let spec = MmppPreset::W120.spec();
+        let tr = MmppSpec {
+            duration: spec.duration.mul_f64(0.5),
+            ..spec
+        }
+        .generate(seed);
+        let vgg_none = analyze(&exec.run(&vgg, &tr, seed).unwrap());
+        let vgg_pc = analyze(
+            &exec
+                .run(&vgg.with_provisioned_concurrency(16), &tr, seed)
+                .unwrap(),
+        );
+        ratio_sum += vgg_pc.mean_latency().unwrap() / vgg_none.mean_latency().unwrap();
+    }
+    let mean_ratio = ratio_sum / draws as f64;
+    assert!(
+        mean_ratio > 0.8,
+        "provisioned concurrency should not reliably win big on VGG latency \
+         (mean pc/none ratio {mean_ratio:.3})"
     );
-    assert!(vgg_pc.mean_latency().unwrap() > vgg_none.mean_latency().unwrap() * 0.8);
 }
 
 /// Table 1 cost ordering within AWS serverless: bigger models and bigger

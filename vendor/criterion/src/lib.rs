@@ -1,0 +1,223 @@
+//! Vendored stand-in for `criterion`: a wall-clock timing harness with the
+//! same call surface the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, chained
+//! `sample_size`/`warm_up_time`/`measurement_time`, `throughput`,
+//! `bench_function`, `finish`). The real crate is unavailable offline.
+//!
+//! No statistical regression analysis is performed; each benchmark prints
+//! mean / min / max per iteration (and throughput when configured), which
+//! is enough to track the perf trajectory across PRs.
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to each bench target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the untimed warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the timed measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, name, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark body.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`: warms up, then records per-iteration
+    /// durations (batching very fast bodies to beat clock granularity).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: run untimed until the budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        // Pick a batch size so one sample spans at least ~20µs.
+        let probe_start = Instant::now();
+        std::hint::black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_micros(20).as_nanos() / probe.as_nanos()).max(1) as u32;
+
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch);
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{name}: no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    let mut line = format!(
+        "{group}/{name}: mean {} (min {}, max {}, n={})",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len()
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!(", {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(", {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles bench target functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main()` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self-test");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,392 @@
+//! Vendored stand-in for `serde`, written against the subset this workspace
+//! uses. The build environment has no crates.io access, so the real serde
+//! cannot be downloaded; this crate keeps the same surface (`Serialize`,
+//! `Deserialize`, `#[derive(Serialize, Deserialize)]`, `#[serde(...)]`
+//! attributes) but trades the visitor architecture for a simple tree-shaped
+//! [`Content`] data model, which is all the JSON (de)serialization in this
+//! repository needs.
+//!
+//! Guarantees kept from real serde that the workspace relies on:
+//! - struct fields serialize in declaration order (stable, byte-identical
+//!   output for identical values — the determinism tests depend on this);
+//! - unit enum variants serialize as plain strings, data variants as
+//!   externally tagged single-entry maps, and `#[serde(tag = "...")]`
+//!   enums as internally tagged maps;
+//! - unknown fields are ignored on deserialization; missing fields error
+//!   unless `#[serde(default = "path")]` or `#[serde(skip)]` is present.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The serialized form of any value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Finite floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Content>),
+    /// Objects, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks a key up in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from any message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// The serialized form.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value, failing on shape mismatches.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range"))),
+                    _ => Err(DeError::expected("unsigned integer", c)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        u64::from_content(c).and_then(|v| {
+            usize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Content::I64(v)
+                } else {
+                    Content::U64(v as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range")))?,
+                    _ => return Err(DeError::expected("integer", c)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        (*self as i64).to_content()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        i64::from_content(c).and_then(|v| {
+            isize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            // Real serde_json cannot represent non-finite numbers either;
+            // mapping them to null keeps serialization total.
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("number", c)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        f64::from(*self).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(v) => Ok(*v),
+            _ => Err(DeError::expected("bool", c)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_content(&self) -> Content {
+        Content::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        // `&'static str` fields (workload names) can only be rebuilt by
+        // leaking; the handful of short names this repo deserializes makes
+        // that acceptable for a vendored shim.
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            _ => Err(DeError::expected("2-element array", c)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Null).unwrap(),
+            None::<u32>
+        );
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2].to_content()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_content(), Content::Null);
+        assert!(f64::from_content(&Content::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(u64::from_content(&Content::Str("x".into())).is_err());
+        assert!(bool::from_content(&Content::U64(1)).is_err());
+        let e = DeError::expected("bool", &Content::U64(1));
+        assert!(e.to_string().contains("expected bool"));
+    }
+}

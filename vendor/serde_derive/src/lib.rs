@@ -1,0 +1,578 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde. The real serde_derive depends on syn+quote, which are not
+//! available offline, so this macro parses the item's token stream by hand
+//! and emits impls against the vendored `serde::Content` data model.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! - structs with named fields (field attrs: `#[serde(skip)]`,
+//!   `#[serde(default = "path")]`);
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - enums of unit / newtype / struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`, with
+//!   `#[serde(rename_all = "snake_case")]` applied to variant names.
+//!
+//! Generics and lifetimes are rejected with a compile error: no derived
+//! type in this workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field- or container-level `#[serde(...)]` switches.
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default_path: Option<String>,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, attrs: SerdeAttrs, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let container_attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive (vendored): unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                attrs: container_attrs,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive (vendored): malformed enum body {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Consumes leading `#[...]` attributes, folding every `#[serde(...)]`
+/// into one [`SerdeAttrs`] and discarding the rest (docs, cfg, ...).
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde_derive (vendored): `#` not followed by a bracket group");
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                merge_serde_args(&mut attrs, args.stream());
+            }
+        }
+    }
+    attrs
+}
+
+/// Parses `skip`, `default = "path"`, `tag = "..."`, `rename_all = "..."`
+/// from the inside of one `#[serde(...)]`.
+fn merge_serde_args(attrs: &mut SerdeAttrs, stream: TokenStream) {
+    let parts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < parts.len() {
+        let key = match &parts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde_derive (vendored): unexpected token {other} in #[serde(...)]"),
+        };
+        i += 1;
+        let value = if matches!(parts.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let TokenTree::Literal(lit) = &parts[i] else {
+                panic!("serde_derive (vendored): #[serde({key} = ...)] needs a string literal");
+            };
+            i += 1;
+            Some(unquote(&lit.to_string()))
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip", None) => attrs.skip = true,
+            ("default", Some(path)) => attrs.default_path = Some(path),
+            ("tag", Some(t)) => attrs.tag = Some(t),
+            ("rename_all", Some(style)) => {
+                assert_eq!(
+                    style, "snake_case",
+                    "serde_derive (vendored): only rename_all = \"snake_case\" is supported"
+                );
+                attrs.rename_all = Some(style);
+            }
+            (other, _) => {
+                panic!("serde_derive (vendored): unsupported serde attribute `{other}`")
+            }
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `{ attr* vis? name : Type , ... }` keeping names and attrs only;
+/// types are never needed because the generated code lets inference pick
+/// the right `Serialize`/`Deserialize` impl.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the `,` that ends the field (or
+/// at end of stream). Tracks `<...>` nesting so generic commas don't end
+/// the field early; other brackets arrive pre-grouped by the tokenizer.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = parse_attrs(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// serde's `rename_all = "snake_case"` transform.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from(
+                "let mut entries: Vec<(String, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            body.push_str("::serde::Content::Map(entries)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Content::Null"),
+        Item::Enum { name, attrs, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(&v.name, attrs);
+                match (&v.kind, &attrs.tag) {
+                    (VariantKind::Unit, None) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{wire}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Unit, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Map(vec![(\"{tag}\".to_string(), ::serde::Content::Str(\"{wire}\".to_string()))]),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Newtype, None) => arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Content::Map(vec![(\"{wire}\".to_string(), ::serde::Serialize::to_content(inner))]),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Newtype, Some(_)) | (VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde_derive (vendored): #[serde(tag)] supports only unit and struct variants"
+                    ),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![(\"{wire}\".to_string(), ::serde::Content::Seq(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    (VariantKind::Struct(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut entries = String::new();
+                        if let Some(tag) = tag {
+                            entries.push_str(&format!(
+                                "(\"{tag}\".to_string(), ::serde::Content::Str(\"{wire}\".to_string())), "
+                            ));
+                        }
+                        for f in fields {
+                            entries.push_str(&format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_content({f})), ",
+                                f = f.name
+                            ));
+                        }
+                        let inner = format!("::serde::Content::Map(vec![{entries}])");
+                        let value = if tag.is_some() {
+                            inner
+                        } else {
+                            format!(
+                                "::serde::Content::Map(vec![(\"{wire}\".to_string(), {inner})])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {value},\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let init = if f.attrs.skip {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    let fallback = match &f.attrs.default_path {
+                        Some(path) => format!("{path}()"),
+                        None => format!(
+                            "return Err(::serde::DeError::new(\"missing field `{f}` in {name}\"))",
+                            f = f.name
+                        ),
+                    };
+                    format!(
+                        "match content.get(\"{f}\") {{ Some(v) => ::serde::Deserialize::from_content(v)?, None => {fallback} }}",
+                        f = f.name
+                    )
+                };
+                inits.push_str(&format!("{f}: {init},\n", f = f.name));
+            }
+            let body = format!(
+                "match content {{\n\
+                 ::serde::Content::Map(_) => Ok({name} {{\n{inits}}}),\n\
+                 other => Err(::serde::DeError::expected(\"object\", other)),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match content {{\n\
+                     ::serde::Content::Seq(items) if items.len() == {arity} => Ok({name}({fields})),\n\
+                     other => Err(::serde::DeError::expected(\"{arity}-element array\", other)),\n}}",
+                    fields = items.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
+        Item::Enum { name, attrs, variants } => {
+            let body = match &attrs.tag {
+                Some(tag) => gen_de_tagged_enum(name, tag, attrs, variants),
+                None => gen_de_external_enum(name, attrs, variants),
+            };
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn gen_de_external_enum(name: &str, attrs: &SerdeAttrs, variants: &[Variant]) -> String {
+    let mut body = String::new();
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{}\" => return Ok({name}::{}),\n", wire_name(&v.name, attrs), v.name))
+        .collect();
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let ::serde::Content::Str(s) = content {{\nmatch s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n"
+        ));
+    }
+    for v in variants {
+        let wire = wire_name(&v.name, attrs);
+        match &v.kind {
+            VariantKind::Unit => {}
+            VariantKind::Newtype => body.push_str(&format!(
+                "if let Some(v) = content.get(\"{wire}\") {{\nreturn Ok({name}::{v}(::serde::Deserialize::from_content(v)?));\n}}\n",
+                v = v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                    .collect();
+                body.push_str(&format!(
+                    "if let Some(::serde::Content::Seq(items)) = content.get(\"{wire}\") {{\n\
+                     if items.len() == {n} {{\nreturn Ok({name}::{v}({fields}));\n}}\n}}\n",
+                    v = v.name,
+                    fields = items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits = struct_variant_inits(name, &v.name, fields, "v");
+                body.push_str(&format!(
+                    "if let Some(v) = content.get(\"{wire}\") {{\nreturn Ok({name}::{v} {{\n{inits}}});\n}}\n",
+                    v = v.name
+                ));
+            }
+        }
+    }
+    body.push_str(&format!(
+        "Err(::serde::DeError::new(format!(\"no variant of {name} matches {{}}\", content.kind())))"
+    ));
+    body
+}
+
+fn gen_de_tagged_enum(
+    name: &str,
+    tag: &str,
+    attrs: &SerdeAttrs,
+    variants: &[Variant],
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let wire = wire_name(&v.name, attrs);
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name))
+            }
+            VariantKind::Struct(fields) => {
+                let inits = struct_variant_inits(name, &v.name, fields, "content");
+                arms.push_str(&format!(
+                    "\"{wire}\" => Ok({name}::{v} {{\n{inits}}}),\n",
+                    v = v.name
+                ));
+            }
+            _ => panic!(
+                "serde_derive (vendored): #[serde(tag)] supports only unit and struct variants"
+            ),
+        }
+    }
+    format!(
+        "let tag = match content.get(\"{tag}\") {{\n\
+         Some(::serde::Content::Str(s)) => s.clone(),\n\
+         _ => return Err(::serde::DeError::new(\"missing or non-string `{tag}` tag for {name}\")),\n}};\n\
+         match tag.as_str() {{\n{arms}\
+         other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n}}"
+    )
+}
+
+fn struct_variant_inits(enum_name: &str, variant: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: match {source}.get(\"{f}\") {{ Some(x) => ::serde::Deserialize::from_content(x)?, None => return Err(::serde::DeError::new(\"missing field `{f}` in {enum_name}::{variant}\")) }},\n",
+            f = f.name
+        ));
+    }
+    inits
+}
+
+fn wire_name(variant: &str, attrs: &SerdeAttrs) -> String {
+    if attrs.rename_all.is_some() {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

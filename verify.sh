@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, whole test suite, pedantic clippy.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify.sh: all gates passed"
