@@ -1,13 +1,23 @@
-//! Sequential vs parallel run-harness bench: replicates one deployment
-//! across 10 seeds (workload-40 at scale 0.1) with `--jobs 1` and with all
-//! cores, and prints the wall-clock ratio. On an n-core machine the
-//! parallel path should approach n× (≥2× on 4 cores); on a single core the
-//! ratio is ~1× — the pool adds no measurable overhead.
+//! Run-harness benches.
+//!
+//! `harness/*`: replicates one deployment across 10 seeds (workload-40 at
+//! scale 0.1) with `--jobs 1` and with all cores, and prints the
+//! wall-clock ratio. On an n-core machine the parallel path should
+//! approach n× (≥2× on 4 cores); on a single core the ratio is ~1× — the
+//! pool adds no measurable overhead.
+//!
+//! `recorder/*`: the observability tax. One run of the same deployment
+//! with no recorder, with the disabled [`NoopRecorder`] (instrumented
+//! sites reduced to a predicted branch), and with a [`JsonlRecorder`]
+//! serializing every event into `io::sink()`. The headline number is the
+//! noop overhead, which must stay in the noise (<2%).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use slsb_core::{replicate_jobs, Deployment, Executor, Jobs, WorkloadSpec};
 use slsb_model::{ModelKind, RuntimeKind};
+use slsb_obs::{JsonlRecorder, NoopRecorder};
 use slsb_platform::PlatformKind;
+use slsb_sim::Seed;
 use slsb_workload::MmppPreset;
 use std::time::{Duration, Instant};
 
@@ -44,6 +54,87 @@ fn run(jobs: Jobs) -> Duration {
     started.elapsed()
 }
 
+fn bench_recorder(c: &mut Criterion) {
+    let dep = deployment();
+    let trace = workload().generate(Seed(BASE_SEED));
+    let exec = Executor::default();
+
+    let mut group = c.benchmark_group("recorder");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(10));
+    group.bench_function("off", |b| {
+        b.iter(|| exec.run(&dep, &trace, Seed(BASE_SEED)).expect("valid run"))
+    });
+    group.bench_function("noop", |b| {
+        b.iter(|| {
+            let mut rec = NoopRecorder;
+            exec.run_recorded(&dep, &trace, Seed(BASE_SEED), &mut rec)
+                .expect("valid run")
+        })
+    });
+    group.bench_function("jsonl_sink", |b| {
+        b.iter(|| {
+            let mut rec = JsonlRecorder::new(std::io::sink());
+            exec.run_recorded(&dep, &trace, Seed(BASE_SEED), &mut rec)
+                .expect("valid run")
+        })
+    });
+    group.finish();
+
+    // Headline numbers on the full-scale trace: the scale-0.1 runs above
+    // finish in under a millisecond, so a single-pass percentage would be
+    // noise. Interleave the modes round-robin so clock drift hits all
+    // three equally, and report the mean per run.
+    let full = WorkloadSpec::Preset {
+        which: MmppPreset::W40,
+        scale: 1.0,
+    }
+    .generate(Seed(BASE_SEED));
+    const REPS: u32 = 30;
+    let (mut off, mut noop, mut jsonl) = (0.0f64, 0.0f64, 0.0f64);
+    for rep in 0..=REPS {
+        let started = Instant::now();
+        exec.run(&dep, &full, Seed(BASE_SEED)).expect("valid run");
+        let t_off = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let mut rec = NoopRecorder;
+        exec.run_recorded(&dep, &full, Seed(BASE_SEED), &mut rec)
+            .expect("valid run");
+        let t_noop = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let mut rec = JsonlRecorder::new(std::io::sink());
+        exec.run_recorded(&dep, &full, Seed(BASE_SEED), &mut rec)
+            .expect("valid run");
+        let t_jsonl = started.elapsed().as_secs_f64();
+
+        // The zeroth round is warm-up; discard it.
+        if rep == 0 {
+            continue;
+        }
+        off += t_off;
+        noop += t_noop;
+        jsonl += t_jsonl;
+    }
+    let (off, noop, jsonl) = (
+        off / f64::from(REPS),
+        noop / f64::from(REPS),
+        jsonl / f64::from(REPS),
+    );
+    println!(
+        "recorder: W40 @ 1.0, {REPS} runs each — off {:.2}ms, noop {:.2}ms \
+         ({:+.2}%), jsonl→sink {:.2}ms ({:+.2}%)",
+        off * 1e3,
+        noop * 1e3,
+        (noop / off - 1.0) * 100.0,
+        jsonl * 1e3,
+        (jsonl / off - 1.0) * 100.0,
+    );
+}
+
 fn bench_harness(c: &mut Criterion) {
     let mut group = c.benchmark_group("harness");
     group
@@ -68,5 +159,5 @@ fn bench_harness(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_harness);
+criterion_group!(benches, bench_harness, bench_recorder);
 criterion_main!(benches);

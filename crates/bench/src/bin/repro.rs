@@ -10,8 +10,10 @@
 //! Markdown goes to stdout; each table is also written as CSV under the
 //! output directory (default `results/`).
 
+use slsb_bench::cli::extract_log_level;
 use slsb_bench::experiments::{run_experiment, ReproConfig};
 use slsb_core::{parallel_map, ExperimentId, Jobs, Scenario};
+use slsb_obs::{info_log, set_log_level};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,17 +28,20 @@ struct Args {
 fn usage() -> String {
     let ids: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.slug()).collect();
     format!(
-        "usage: repro <experiment|all|list> [--scale F] [--seed N] [--out DIR] [--jobs N]\n\
+        "usage: repro <experiment|all|list> [--scale F] [--seed N] [--out DIR] [--jobs N] [--log-level L]\n\
                 repro run-scenario <file.json> [...]\n\
          --jobs N runs N experiments in parallel (default: all cores; output\n\
          is identical to --jobs 1 for any N)\n\
+         --log-level <quiet|info|debug> controls progress chatter on stderr\n\
          experiments: {}",
         ids.join(", ")
     )
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    set_log_level(extract_log_level(&mut argv)?);
+    let mut args = argv.into_iter();
     let mut targets = Vec::new();
     let mut scenarios = Vec::new();
     let mut cfg = ReproConfig::default();
@@ -165,7 +170,7 @@ fn main() -> ExitCode {
 
     for (id, (out, elapsed)) in args.targets.iter().zip(&outputs) {
         println!("{}", out.to_markdown());
-        eprintln!("[{}] done in {:.1}s", id.slug(), elapsed.as_secs_f64());
+        info_log!("[{}] done in {:.1}s", id.slug(), elapsed.as_secs_f64());
 
         if let Some(dir) = &args.out {
             if let Err(e) = std::fs::create_dir_all(dir) {

@@ -4,19 +4,25 @@
 //! slsb compare   --model mobilenet --workload w120 [--seed N] [--scale F]
 //! slsb explore   --model vgg --workload w120 [--slo 0.5]
 //! slsb replicate --model mobilenet --platform aws-serverless --workload w40 --reps 5
-//! slsb run       scenarios/flash_crowd_serverless.json
+//! slsb run       scenarios/flash_crowd_serverless.json [--trace out.jsonl]
+//! slsb trace     out.jsonl
 //! ```
 //!
 //! `compare` races all eight systems on one model × workload; `explore`
 //! sweeps the serverless design space and prints the Pareto front;
 //! `replicate` reruns one deployment across N seeds and reports mean ± std;
-//! `run` replays a declarative JSON scenario.
+//! `run` replays a declarative JSON scenario, optionally streaming every
+//! simulation event to a JSONL trace; `trace` explores such a trace —
+//! request waterfalls, phase attribution, cold-start breakdown, and
+//! per-instance timelines.
 
+use slsb_bench::cli::extract_log_level;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
     Deployment, Executor, ExplorerGrid, Jobs, Scenario, Table, WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
+use slsb_obs::{set_log_level, trace_view, JsonlRecorder};
 use slsb_platform::PlatformKind;
 use slsb_sim::Seed;
 use slsb_workload::MmppPreset;
@@ -26,10 +32,15 @@ const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N]
-  slsb run       <scenario.json>
+  slsb run       <scenario.json> [--trace FILE]
+  slsb trace     <trace.jsonl>
 
 --jobs N runs N simulations in parallel (default: all cores; results are
 bit-identical to --jobs 1 for any N).
+--log-level <quiet|info|debug> (any position) controls progress chatter.
+run --trace FILE streams every simulation event to FILE as JSONL;
+trace renders a recorded file: per-request waterfall, phase attribution,
+cold-start breakdown, and per-instance timelines.
 
 platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
 
@@ -272,27 +283,72 @@ fn cmd_replicate(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(path: &str) -> Result<(), String> {
+fn cmd_run(path: &str, trace_out: Option<&str>) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
-    let (run, a) = scenario.run().map_err(|e| e.to_string())?;
+    let mut trace_events = None;
+    let (run, a) = match trace_out {
+        None => scenario.run().map_err(|e| e.to_string())?,
+        Some(out_path) => {
+            let file = std::fs::File::create(out_path)
+                .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+            let mut rec = JsonlRecorder::new(std::io::BufWriter::new(file));
+            let result = scenario.run_recorded(&mut rec).map_err(|e| e.to_string())?;
+            let written = rec
+                .finish()
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            trace_events = Some(written);
+            result
+        }
+    };
     println!("# {}\n", scenario.name);
     println!("deployment    : {}", scenario.deployment.label());
     println!("requests      : {}", a.total);
     println!("success ratio : {}", fmt_pct(a.success_ratio));
     println!("mean latency  : {}", fmt_opt_secs(a.mean_latency()));
     println!("cost          : {}", fmt_money(a.cost.total()));
+    println!("engine events : {}", run.engine_events);
+    if let Some(n) = trace_events {
+        println!("trace events  : {n}");
+    }
     let series: Vec<(f64, Option<f64>)> = a.series.iter().map(|p| (p.at, p.mean_latency)).collect();
     println!(
         "\n{}",
         ascii_chart("mean latency per 10s bucket (s)", &series, 8)
     );
-    let _ = run;
+    Ok(())
+}
+
+fn cmd_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = trace_view::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("# trace: {path}\n");
+    println!("trace events  : {}", events.len());
+    match trace_view::run_closed(&events) {
+        Some((engine_events, requests)) => {
+            println!("engine events : {engine_events}");
+            println!("requests      : {requests}\n");
+        }
+        None => println!("(no run_closed event — trace may be truncated)\n"),
+    }
+    println!("{}", trace_view::summary(&events));
+    println!("{}", trace_view::phase_attribution(&events));
+    println!("{}", trace_view::cold_start_breakdown(&events));
+    println!("{}", trace_view::waterfall(&events, 20));
+    println!("{}", trace_view::instance_timeline(&events, 20));
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let level = match extract_log_level(&mut argv) {
+        Ok(level) => level,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    set_log_level(level);
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -302,8 +358,13 @@ fn main() -> ExitCode {
         "explore" => parse_options(rest).and_then(|o| cmd_explore(&o)),
         "replicate" => parse_options(rest).and_then(|o| cmd_replicate(&o)),
         "run" => match rest {
-            [path] => cmd_run(path),
-            _ => Err("run needs exactly one scenario file".into()),
+            [path] => cmd_run(path, None),
+            [path, flag, out] if flag == "--trace" => cmd_run(path, Some(out)),
+            _ => Err("run needs a scenario file, optionally followed by --trace FILE".into()),
+        },
+        "trace" => match rest {
+            [path] => cmd_trace(path),
+            _ => Err("trace needs exactly one trace file".into()),
         },
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -4,6 +4,7 @@
 //! extension studies), shared by the `repro` binary and the Criterion
 //! benches. See [`experiments`] for the index.
 
+pub mod cli;
 pub mod experiments;
 
 pub use experiments::{run_experiment, ExperimentOutput, ReproConfig};

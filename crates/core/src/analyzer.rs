@@ -4,6 +4,7 @@
 
 use crate::executor::{RequestRecord, RunResult};
 use serde::{Deserialize, Serialize};
+use slsb_obs::MetricsRegistry;
 use slsb_platform::{CostBreakdown, FailureReason, Outcome};
 use slsb_sim::{SampleSet, SimDuration, TimeSeries};
 
@@ -236,6 +237,42 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
         utilization: run.platform.utilization(),
         instance_series,
     }
+}
+
+/// Distills a run into streaming metrics: outcome counters, a peak-instance
+/// gauge, and log-linear latency histograms. Unlike [`Analysis`], the result
+/// merges deterministically across replicas (see
+/// [`MetricsRegistry::merge`]), which is how the parallel harness aggregates
+/// per-worker observations without retaining every sample.
+pub fn run_metrics(run: &RunResult) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.inc("requests_total", run.records.len() as u64);
+    for r in &run.records {
+        match r.outcome {
+            Outcome::Success => {
+                m.inc("requests_ok", 1);
+                let lat = r
+                    .latency
+                    .expect("success without latency: unresolved record");
+                m.observe("latency_seconds", lat.as_secs_f64());
+                if r.cold_start.is_some() {
+                    m.observe("latency_cold_seconds", lat.as_secs_f64());
+                } else {
+                    m.observe("latency_warm_seconds", lat.as_secs_f64());
+                }
+                m.observe("queued_seconds", r.queued.as_secs_f64());
+                m.observe("predict_seconds", r.predict.as_secs_f64());
+            }
+            Outcome::Failure(FailureReason::QueueFull) => m.inc("requests_queue_full", 1),
+            Outcome::Failure(FailureReason::ClientTimeout) => m.inc("requests_timeout", 1),
+            Outcome::Failure(FailureReason::Rejected) => m.inc("requests_rejected", 1),
+        }
+    }
+    m.inc("cold_starts", run.platform.cold_started);
+    m.inc("invocations", run.platform.invocations);
+    m.inc("engine_events", run.engine_events);
+    m.gauge_max("peak_instances", run.platform.instances.peak());
+    m
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -11,6 +11,7 @@ use crate::batching::{plan_invocations, BatchPolicy, Invocation};
 use crate::plan::{Deployment, PlanError};
 use serde::{Deserialize, Serialize};
 use slsb_model::ModelKind;
+use slsb_obs::{EventKind, Recorder, SpanOutcome, TraceEvent};
 use slsb_platform::{
     ColdStartBreakdown, FailureReason, NetworkProfile, Outcome, Platform, PlatformEvent,
     PlatformReport, PlatformScheduler, RequestId, ServingRequest,
@@ -87,6 +88,9 @@ pub struct RunResult {
     pub records: Vec<RequestRecord>,
     /// Platform-side accounting (cost, instances, cold starts).
     pub platform: PlatformReport,
+    /// Discrete events the simulation kernel delivered during the run —
+    /// cross-checkable against the trace's closing `run_closed` event.
+    pub engine_events: u64,
 }
 
 impl RunResult {
@@ -129,7 +133,7 @@ enum ExecEvent {
     Platform(PlatformEvent),
 }
 
-struct ExecSystem {
+struct ExecSystem<'r> {
     platform: Platform,
     invocations: Vec<Invocation>,
     payload_per_invocation: Vec<u64>,
@@ -138,15 +142,18 @@ struct ExecSystem {
     /// indices).
     responses: Vec<(usize, slsb_platform::ServingResponse)>,
     buffer: Vec<(SimDuration, PlatformEvent)>,
+    /// Trace sink threaded into every platform scheduler, if recording.
+    rec: Option<&'r mut dyn Recorder>,
 }
 
-impl ExecSystem {
+impl ExecSystem<'_> {
     fn with_platform<R>(
         &mut self,
         queue: &mut EventQueue<ExecEvent>,
         f: impl FnOnce(&mut Platform, &mut PlatformScheduler<'_>) -> R,
     ) -> R {
-        let mut sched = PlatformScheduler::new(queue.now(), &mut self.buffer);
+        let rec = self.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+        let mut sched = PlatformScheduler::with_recorder(queue.now(), &mut self.buffer, rec);
         let r = f(&mut self.platform, &mut sched);
         for (d, e) in self.buffer.drain(..) {
             queue.schedule_after(d, ExecEvent::Platform(e));
@@ -162,7 +169,7 @@ impl ExecSystem {
     }
 }
 
-impl System for ExecSystem {
+impl System for ExecSystem<'_> {
     type Ev = ExecEvent;
     fn handle(&mut self, queue: &mut EventQueue<ExecEvent>, _at: SimTime, ev: ExecEvent) {
         match ev {
@@ -220,6 +227,24 @@ impl Executor {
         Ok(self.run_built(deployment, platform, trace, seed))
     }
 
+    /// Like [`Executor::run`] but streams every trace event — platform
+    /// lifecycle, per-request spans, and the closing summary — into `rec`.
+    /// Recording is write-only: the returned [`RunResult`] is identical to
+    /// the one an unrecorded run produces.
+    ///
+    /// # Errors
+    /// Fails when the deployment is invalid.
+    pub fn run_recorded(
+        &self,
+        deployment: &Deployment,
+        trace: &WorkloadTrace,
+        seed: Seed,
+        rec: &mut dyn Recorder,
+    ) -> Result<RunResult, PlanError> {
+        let platform = deployment.build(seed)?;
+        Ok(self.run_built_recorded(deployment, platform, trace, seed, Some(rec)))
+    }
+
     /// Replays `trace` against an already-built platform. This is the
     /// ablation entry point: callers may hand-construct a platform whose
     /// knobs the [`Deployment`] surface does not expose (e.g. a custom
@@ -232,6 +257,19 @@ impl Executor {
         trace: &WorkloadTrace,
         seed: Seed,
     ) -> RunResult {
+        self.run_built_recorded(deployment, platform, trace, seed, None)
+    }
+
+    /// [`Executor::run_built`] with an optional trace recorder attached.
+    pub fn run_built_recorded(
+        &self,
+        deployment: &Deployment,
+        platform: Platform,
+        trace: &WorkloadTrace,
+        seed: Seed,
+        rec: Option<&mut dyn Recorder>,
+    ) -> RunResult {
+        let tracing = rec.as_deref().is_some_and(|r| r.enabled());
         let pool = self.pool_for(deployment.model, deployment.samples_per_request);
 
         // Assign requests to clients round-robin (the paper's splitter) and
@@ -274,11 +312,16 @@ impl Executor {
         for arrivals in &per_client {
             invocations.extend(plan_invocations(arrivals, policy));
         }
-        // Record when each request's invocation fired.
+        // Record when each request's invocation fired, and (when tracing)
+        // which invocation carries each record — the join key to the
+        // platform's per-invocation trace events.
+        let mut inv_of: Vec<u64> = if tracing { vec![0; n] } else { Vec::new() };
         for (inv_idx, inv) in invocations.iter().enumerate() {
-            let _ = inv_idx;
             for &m in &inv.members {
                 records[m].sent_at = inv.send_at;
+                if tracing {
+                    inv_of[m] = inv_idx as u64;
+                }
             }
         }
         let payload_per_invocation: Vec<u64> = invocations
@@ -309,6 +352,7 @@ impl Executor {
             inferences_per_invocation,
             responses: Vec::new(),
             buffer: Vec::new(),
+            rec,
         });
 
         let horizon =
@@ -317,7 +361,9 @@ impl Executor {
         // Platform startup at t = 0.
         {
             let sys = &mut engine.system;
-            let mut sched = PlatformScheduler::new(SimTime::ZERO, &mut sys.buffer);
+            let startup_rec = sys.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+            let mut sched =
+                PlatformScheduler::with_recorder(SimTime::ZERO, &mut sys.buffer, startup_rec);
             sys.platform
                 .start(&mut sched, SimTime::ZERO + trace.duration());
             for (d, e) in sys.buffer.drain(..) {
@@ -343,11 +389,22 @@ impl Executor {
         engine.system.drain();
 
         // Resolve records from responses.
+        let engine_events = engine.events_processed();
         let response_net = self.cfg.network.response_time();
-        let sys = engine.system;
+        let mut sys = engine.system;
+        let recorder = sys.rec.take();
+        // Per-record span data, populated while resolving; only allocated
+        // when a recorder wants it.
+        let mut spans: Vec<Option<(SimTime, SimDuration, SimDuration, SimDuration)>> =
+            if tracing { vec![None; n] } else { Vec::new() };
         for (inv_idx, resp) in &sys.responses {
             let inv = &sys.invocations[*inv_idx];
             let receive = resp.completed_at + response_net;
+            let net_in = self
+                .cfg
+                .network
+                .transfer_time(sys.payload_per_invocation[*inv_idx]);
+            let delivered = inv.send_at + net_in;
             for &m in &inv.members {
                 let rec = &mut records[m];
                 let e2e = receive.saturating_duration_since(rec.arrival);
@@ -366,6 +423,56 @@ impl Executor {
                         rec.latency = Some(e2e);
                     }
                 }
+                if tracing {
+                    // Exec time is what remains of the platform's span after
+                    // its own queueing; exact for successes.
+                    let exec = resp
+                        .completed_at
+                        .saturating_duration_since(delivered + resp.queued);
+                    spans[m] = Some((receive, net_in, exec, response_net));
+                }
+            }
+        }
+
+        if let Some(r) = recorder {
+            if r.enabled() {
+                for (m, rec) in records.iter().enumerate() {
+                    let (at, net_in, exec, net_out) = match spans[m] {
+                        Some(s) => s,
+                        // The platform never answered: the client's timeout
+                        // is the whole story, no server-side phases.
+                        None => (horizon, SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
+                    };
+                    let outcome = match rec.outcome {
+                        Outcome::Success => SpanOutcome::Success,
+                        Outcome::Failure(FailureReason::QueueFull) => SpanOutcome::QueueFull,
+                        Outcome::Failure(FailureReason::ClientTimeout) => SpanOutcome::ClientTimeout,
+                        Outcome::Failure(FailureReason::Rejected) => SpanOutcome::Rejected,
+                    };
+                    r.record(&TraceEvent {
+                        at,
+                        kind: EventKind::RequestSpan {
+                            request: rec.index as u64,
+                            client: rec.client,
+                            invocation: inv_of[m],
+                            arrival: rec.arrival,
+                            batch: rec.sent_at.saturating_duration_since(rec.arrival),
+                            net_in,
+                            queued: rec.queued,
+                            exec,
+                            net_out,
+                            cold: rec.cold_start.is_some(),
+                            outcome,
+                        },
+                    });
+                }
+                r.record(&TraceEvent {
+                    at: horizon,
+                    kind: EventKind::RunClosed {
+                        engine_events,
+                        requests: n as u64,
+                    },
+                });
             }
         }
 
@@ -375,6 +482,7 @@ impl Executor {
             duration: trace.duration(),
             records,
             platform: sys.platform.report(),
+            engine_events,
         }
     }
 }

@@ -4,12 +4,13 @@
 //! of any comparison is seed noise — essential before reading small
 //! deltas off the tables.
 
-use crate::analyzer::{analyze, Analysis};
+use crate::analyzer::{analyze, run_metrics, Analysis};
 use crate::executor::Executor;
 use crate::plan::{Deployment, PlanError};
 use crate::runner::{parallel_map, Jobs};
 use crate::scenario::WorkloadSpec;
 use serde::{Deserialize, Serialize};
+use slsb_obs::MetricsRegistry;
 use slsb_sim::{Accumulator, Seed};
 
 /// Mean ± population standard deviation of one metric across replicas.
@@ -56,6 +57,11 @@ pub struct Replication {
     pub cost: MetricSummary,
     /// Cold-started instances, across replicas.
     pub cold_started: MetricSummary,
+    /// Streaming metrics pooled across every replica: counters sum,
+    /// gauges take maxima, histograms add bucket-wise. Merged in seed
+    /// order regardless of worker count, so the registry is identical
+    /// for any `--jobs` value.
+    pub metrics: MetricsRegistry,
     /// The individual analyses, in seed order.
     pub analyses: Vec<Analysis>,
 }
@@ -114,7 +120,9 @@ pub fn replicate_jobs(
     let seeds: Vec<Seed> = (0..replicas).map(|i| Seed(base_seed + i as u64)).collect();
     let per_seed = parallel_map(jobs, &seeds, |_, &seed| {
         let trace = workload.generate(seed.substream("replication-workload"));
-        executor.run(deployment, &trace, seed).map(|run| analyze(&run))
+        executor
+            .run(deployment, &trace, seed)
+            .map(|run| (run_metrics(&run), analyze(&run)))
     });
 
     let mut lat = Accumulator::new();
@@ -122,10 +130,14 @@ pub fn replicate_jobs(
     let mut sr = Accumulator::new();
     let mut cost = Accumulator::new();
     let mut cold = Accumulator::new();
+    let mut metrics = MetricsRegistry::new();
     let mut analyses = Vec::with_capacity(replicas);
 
+    // Aggregation happens here, sequentially in seed order — the merge
+    // order of the metrics registries (and thus their float sums) never
+    // depends on which worker finished first.
     for result in per_seed {
-        let a = result?;
+        let (m, a) = result?;
         if let Some(l) = a.latency {
             lat.add(l.mean);
             p99.add(l.p99);
@@ -133,6 +145,7 @@ pub fn replicate_jobs(
         sr.add(a.success_ratio);
         cost.add(a.cost_dollars());
         cold.add(a.cold_started as f64);
+        metrics.merge(&m);
         analyses.push(a);
     }
 
@@ -143,6 +156,7 @@ pub fn replicate_jobs(
         success_ratio: MetricSummary::from_accumulator(&sr).expect("replicas > 0"),
         cost: MetricSummary::from_accumulator(&cost).expect("replicas > 0"),
         cold_started: MetricSummary::from_accumulator(&cold).expect("replicas > 0"),
+        metrics,
         analyses,
     })
 }

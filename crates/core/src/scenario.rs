@@ -200,6 +200,22 @@ impl Scenario {
         let analysis = analyze(&run);
         Ok((run, analysis))
     }
+
+    /// [`Scenario::run`] with every trace event streamed into `rec`. The
+    /// returned result and analysis are identical to an unrecorded run's.
+    ///
+    /// # Errors
+    /// Fails when the deployment is invalid.
+    pub fn run_recorded(
+        &self,
+        rec: &mut dyn slsb_obs::Recorder,
+    ) -> Result<(RunResult, Analysis), ScenarioError> {
+        let seed = Seed(self.seed);
+        let trace = self.workload.generate(seed.substream("scenario-workload"));
+        let run = Executor::new(self.executor).run_recorded(&self.deployment, &trace, seed, rec)?;
+        let analysis = analyze(&run);
+        Ok((run, analysis))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,340 @@
+//! The trace event taxonomy: everything the simulators can tell an
+//! observer about a run, stamped with virtual time.
+//!
+//! Events fall into three families:
+//!
+//! - **request-path events** emitted by the platform simulators as a
+//!   request moves through them (`RequestArrival` → `RequestQueued` →
+//!   `ExecStart`, or a terminal `RequestRejected` / `RequestDropped`);
+//! - **instance lifecycle events** (`InstanceSpawn` → `InstanceReady` →
+//!   `InstanceWarm` → `InstanceReclaim`, plus `InstanceCrash`) and
+//!   `BillingTick`s as billable handler time accrues;
+//! - **run-level events** emitted by the executor after the simulation
+//!   drains: one `RequestSpan` per logical client request with the full
+//!   phase breakdown, and a final `RunClosed` carrying the engine's
+//!   processed-event count.
+//!
+//! Platform-side events identify requests by *invocation* index (the
+//! platform never sees individual batched requests); `RequestSpan.invocation`
+//! joins the two views.
+
+use serde::{Deserialize, Serialize};
+use slsb_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Which simulated component emitted a platform-side event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Component {
+    /// A FaaS-style serverless platform (Lambda / Cloud Functions model).
+    Serverless,
+    /// A managed ML endpoint (SageMaker / AI Platform model).
+    ManagedMl,
+    /// A self-rented VM server pool.
+    Vm,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Component::Serverless => "serverless",
+            Component::ManagedMl => "managed-ml",
+            Component::Vm => "vm",
+        })
+    }
+}
+
+/// Why an instance was spawned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpawnCause {
+    /// Spawned because queued demand required it.
+    Demand,
+    /// Spawned speculatively ahead of demand.
+    Overprovision,
+    /// Part of the provisioned-concurrency / minimum-instance floor.
+    Provisioned,
+}
+
+/// Terminal outcome of a request span, mirroring the executor's
+/// success/failure classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpanOutcome {
+    /// The response arrived within the client timeout.
+    Success,
+    /// The platform's admission queue was full.
+    QueueFull,
+    /// No response (or a late one) within the client timeout.
+    ClientTimeout,
+    /// The platform rejected the request outright.
+    Rejected,
+}
+
+impl SpanOutcome {
+    /// Whether the request ultimately succeeded.
+    pub fn is_success(self) -> bool {
+        matches!(self, SpanOutcome::Success)
+    }
+}
+
+impl fmt::Display for SpanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpanOutcome::Success => "ok",
+            SpanOutcome::QueueFull => "queue-full",
+            SpanOutcome::ClientTimeout => "timeout",
+            SpanOutcome::Rejected => "rejected",
+        })
+    }
+}
+
+/// One observable fact about a run. Internally tagged as `"event"` on the
+/// wire so a JSONL trace stays self-describing and greppable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum EventKind {
+    /// An invocation reached the platform's front door.
+    RequestArrival {
+        /// Emitting component.
+        component: Component,
+        /// Platform-side request (invocation) id.
+        request: u64,
+    },
+    /// The invocation had to wait (no warm capacity / free worker).
+    RequestQueued {
+        /// Emitting component.
+        component: Component,
+        /// Platform-side request (invocation) id.
+        request: u64,
+    },
+    /// The platform refused admission (queue at capacity).
+    RequestRejected {
+        /// Emitting component.
+        component: Component,
+        /// Platform-side request (invocation) id.
+        request: u64,
+    },
+    /// A queued invocation went stale and was dropped before dispatch.
+    RequestDropped {
+        /// Emitting component.
+        component: Component,
+        /// Platform-side request (invocation) id.
+        request: u64,
+    },
+    /// Handler execution began on an instance.
+    ExecStart {
+        /// Emitting component.
+        component: Component,
+        /// Platform-side request (invocation) id.
+        request: u64,
+        /// Instance (or worker slot) executing the handler.
+        instance: u64,
+        /// Whether this execution pays a cold start.
+        cold: bool,
+        /// Virtual time at which the handler completes.
+        done_at: SimTime,
+    },
+    /// A new instance began provisioning (or was pre-provisioned).
+    InstanceSpawn {
+        /// Emitting component.
+        component: Component,
+        /// Instance id.
+        instance: u64,
+        /// Why it was spawned.
+        cause: SpawnCause,
+    },
+    /// A cold-started instance finished boot+import and can take work;
+    /// carries the sampled cold-start sub-phase durations.
+    InstanceReady {
+        /// Emitting component.
+        component: Component,
+        /// Instance id.
+        instance: u64,
+        /// Sandbox/container boot time.
+        boot: SimDuration,
+        /// Framework import time.
+        import: SimDuration,
+        /// Model artifact download time.
+        download: SimDuration,
+        /// Model load/initialization time.
+        load: SimDuration,
+    },
+    /// The instance holds a loaded model; subsequent requests are warm.
+    InstanceWarm {
+        /// Emitting component.
+        component: Component,
+        /// Instance id.
+        instance: u64,
+    },
+    /// The instance crashed during startup and will be replaced.
+    InstanceCrash {
+        /// Emitting component.
+        component: Component,
+        /// Instance id.
+        instance: u64,
+    },
+    /// The keep-alive expired (or the autoscaler scaled in) and the
+    /// instance was reaped.
+    InstanceReclaim {
+        /// Emitting component.
+        component: Component,
+        /// Instance id.
+        instance: u64,
+    },
+    /// Billable handler time accrued.
+    BillingTick {
+        /// Emitting component.
+        component: Component,
+        /// Billed duration for this handler execution.
+        billed: SimDuration,
+    },
+    /// Executor-level per-request phase breakdown, emitted once per
+    /// logical client request after the run drains. For successful
+    /// requests `batch + net_in + queued + exec + net_out` equals the
+    /// end-to-end latency exactly (integer microseconds).
+    RequestSpan {
+        /// Logical request index (position in the workload trace).
+        request: u64,
+        /// Client that issued the request.
+        client: u32,
+        /// Invocation the request was batched into — joins the span to
+        /// platform-side events carrying the same `request` id.
+        invocation: u64,
+        /// Virtual arrival time at the client.
+        arrival: SimTime,
+        /// Wait for the batch window to close.
+        batch: SimDuration,
+        /// Request network transfer time.
+        net_in: SimDuration,
+        /// Platform queueing delay.
+        queued: SimDuration,
+        /// Handler execution (includes cold-start work on cold paths).
+        exec: SimDuration,
+        /// Response network transfer time.
+        net_out: SimDuration,
+        /// Whether the serving invocation paid a cold start.
+        cold: bool,
+        /// Terminal outcome.
+        outcome: SpanOutcome,
+    },
+    /// End of trace: engine bookkeeping for cross-checking.
+    RunClosed {
+        /// Events the simulation engine processed.
+        engine_events: u64,
+        /// Logical client requests in the run.
+        requests: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable short name of the variant (matches the wire tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RequestArrival { .. } => "request_arrival",
+            EventKind::RequestQueued { .. } => "request_queued",
+            EventKind::RequestRejected { .. } => "request_rejected",
+            EventKind::RequestDropped { .. } => "request_dropped",
+            EventKind::ExecStart { .. } => "exec_start",
+            EventKind::InstanceSpawn { .. } => "instance_spawn",
+            EventKind::InstanceReady { .. } => "instance_ready",
+            EventKind::InstanceWarm { .. } => "instance_warm",
+            EventKind::InstanceCrash { .. } => "instance_crash",
+            EventKind::InstanceReclaim { .. } => "instance_reclaim",
+            EventKind::BillingTick { .. } => "billing_tick",
+            EventKind::RequestSpan { .. } => "request_span",
+            EventKind::RunClosed { .. } => "run_closed",
+        }
+    }
+}
+
+/// A trace event: what happened, and when in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual timestamp (microseconds since run start on the wire).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = [
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_millis(5),
+                kind: EventKind::RequestArrival {
+                    component: Component::Serverless,
+                    request: 3,
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO,
+                kind: EventKind::InstanceReady {
+                    component: Component::ManagedMl,
+                    instance: 7,
+                    boot: SimDuration::from_millis(250),
+                    import: SimDuration::from_secs(2),
+                    download: SimDuration::from_millis(900),
+                    load: SimDuration::from_millis(400),
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(9),
+                kind: EventKind::RequestSpan {
+                    request: 41,
+                    client: 2,
+                    invocation: 40,
+                    arrival: SimTime::ZERO + SimDuration::from_secs(8),
+                    batch: SimDuration::from_millis(10),
+                    net_in: SimDuration::from_millis(20),
+                    queued: SimDuration::from_millis(30),
+                    exec: SimDuration::from_millis(40),
+                    net_out: SimDuration::from_millis(50),
+                    cold: true,
+                    outcome: SpanOutcome::Success,
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(10),
+                kind: EventKind::RunClosed {
+                    engine_events: 123,
+                    requests: 42,
+                },
+            },
+        ];
+        for ev in events {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev, "mismatch for {json}");
+        }
+    }
+
+    #[test]
+    fn wire_format_is_internally_tagged() {
+        let ev = TraceEvent {
+            at: SimTime::ZERO + SimDuration::from_micros(17),
+            kind: EventKind::RequestQueued {
+                component: Component::Vm,
+                request: 9,
+            },
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("\"event\":\"request_queued\""), "{json}");
+        assert!(json.contains("\"component\":\"vm\""), "{json}");
+        assert!(json.contains("\"at\":17"), "{json}");
+    }
+
+    #[test]
+    fn names_match_wire_tags() {
+        let kind = EventKind::InstanceWarm {
+            component: Component::Serverless,
+            instance: 0,
+        };
+        let json = serde_json::to_string(&kind).unwrap();
+        assert!(json.contains(kind.name()), "{json}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Process-wide log-level switch for the CLI binaries.
+//!
+//! The binaries print experiment output on stdout and progress/diagnostic
+//! chatter on stderr. The `--log-level` flag routes through here:
+//! `quiet` silences stderr progress, `info` (the default) keeps the
+//! one-line progress notes, `debug` adds per-step detail. Errors are
+//! printed unconditionally — this gate is only for chatter.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity of stderr progress output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No progress output at all.
+    Quiet = 0,
+    /// One-line progress notes (default).
+    Info = 1,
+    /// Per-step diagnostic detail.
+    Debug = 2,
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "quiet" => Ok(LogLevel::Quiet),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected quiet, info, or debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-wide log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Whether messages at `level` should currently be printed.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level <= log_level()
+}
+
+/// Prints a progress note to stderr when the log level is `info` or
+/// higher.
+#[macro_export]
+macro_rules! info_log {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a diagnostic note to stderr when the log level is `debug`.
+#[macro_export]
+macro_rules! debug_log {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels() {
+        assert_eq!("quiet".parse::<LogLevel>().unwrap(), LogLevel::Quiet);
+        assert_eq!("info".parse::<LogLevel>().unwrap(), LogLevel::Info);
+        assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("verbose".parse::<LogLevel>().is_err());
+    }
+
+    #[test]
+    fn levels_order_and_gate() {
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        // Note: other tests run in the same process; restore the default.
+        set_log_level(LogLevel::Quiet);
+        assert!(!log_enabled(LogLevel::Info));
+        set_log_level(LogLevel::Debug);
+        assert!(log_enabled(LogLevel::Info));
+        assert!(log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Info);
+        assert!(log_enabled(LogLevel::Info));
+        assert!(!log_enabled(LogLevel::Debug));
+    }
+}

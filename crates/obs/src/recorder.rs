@@ -1,0 +1,194 @@
+//! Recorder sinks: where trace events go.
+//!
+//! The contract every sink must honour is that recording is *purely
+//! observational*: a recorder never feeds information back into the
+//! simulation, so enabling or disabling one cannot perturb RNG draws or
+//! event ordering. Instrumentation sites additionally check
+//! [`Recorder::enabled`] before constructing an event, making the
+//! disabled path a single branch.
+
+use crate::event::TraceEvent;
+use std::io;
+
+/// A sink for [`TraceEvent`]s.
+pub trait Recorder {
+    /// Whether events should be constructed and recorded at all.
+    /// Instrumentation sites skip event construction when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event. Only called when [`Recorder::enabled`] is true.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// The disabled recorder: `enabled()` is false and `record` is a no-op,
+/// so instrumented code runs at (branch-predicted) full speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Buffers events in memory; the test and analysis workhorse.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// Streams events as JSON Lines (one compact JSON object per line) into
+/// any [`io::Write`] sink.
+///
+/// Write errors do not panic mid-simulation: the first error is latched,
+/// further events are discarded, and [`JsonlRecorder::finish`] reports it.
+#[derive(Debug)]
+pub struct JsonlRecorder<W: io::Write> {
+    out: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlRecorder<W> {
+    /// Wraps a writer. Callers that write to files should pass a
+    /// `BufWriter` — the recorder issues one `write_all` per event.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the writer and returns the event count, or the first
+    /// write error encountered.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: io::Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        // The event types serialize infallibly (no maps with non-string
+        // keys, no non-finite floats in the schema).
+        let mut line = serde_json::to_string(ev).expect("trace events are serializable");
+        line.push('\n');
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+            return;
+        }
+        self.written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, EventKind};
+    use slsb_sim::SimTime;
+
+    fn sample(request: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::RequestArrival {
+                component: Component::Vm,
+                request,
+            },
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopRecorder.enabled());
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order() {
+        let mut rec = MemoryRecorder::new();
+        for i in 0..5 {
+            rec.record(&sample(i));
+        }
+        let ids: Vec<u64> = rec
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::RequestArrival { request, .. } => request,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut buf = Vec::new();
+        let mut rec = JsonlRecorder::new(&mut buf);
+        rec.record(&sample(1));
+        rec.record(&sample(2));
+        let n = rec.finish().unwrap();
+        assert_eq!(n, 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let ev: TraceEvent = serde_json::from_str(line).unwrap();
+            assert!(matches!(ev.kind, EventKind::RequestArrival { .. }));
+        }
+    }
+
+    #[test]
+    fn jsonl_latches_write_errors() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _b: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = JsonlRecorder::new(Failing);
+        rec.record(&sample(1));
+        rec.record(&sample(2));
+        assert_eq!(rec.events_written(), 0);
+        assert!(rec.finish().is_err());
+    }
+}

@@ -1,0 +1,517 @@
+//! The `slsb trace` explorer: replays a JSONL trace into text renderings
+//! — an event summary, a per-request waterfall, a per-instance timeline,
+//! and phase-attribution tables mirroring the paper's cold-start
+//! breakdown figure. Everything here is a pure function of the event
+//! list, so renderings are as deterministic as the trace itself.
+
+use crate::event::{Component, EventKind, SpanOutcome, TraceEvent};
+use crate::metrics::LogLinearHistogram;
+use slsb_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parses a JSON-Lines trace (one event per non-empty line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: invalid trace event: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// The `RunClosed` bookkeeping event, if the trace carries one.
+pub fn run_closed(events: &[TraceEvent]) -> Option<(u64, u64)> {
+    events.iter().rev().find_map(|e| match e.kind {
+        EventKind::RunClosed {
+            engine_events,
+            requests,
+        } => Some((engine_events, requests)),
+        _ => None,
+    })
+}
+
+/// Per-kind event counts, one aligned line per kind in sorted order.
+pub fn summary(events: &[TraceEvent]) -> String {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        *counts.entry(ev.kind.name()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for (name, n) in counts {
+        let _ = writeln!(out, "  {name:<18} {n:>8}");
+    }
+    out
+}
+
+/// A decoded `RequestSpan`, in trace order.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Logical request index.
+    pub request: u64,
+    /// Issuing client.
+    pub client: u32,
+    /// Invocation the request rode in.
+    pub invocation: u64,
+    /// Client-side arrival time.
+    pub arrival: SimTime,
+    /// Phase durations, in pipeline order.
+    pub batch: SimDuration,
+    /// Request network transfer.
+    pub net_in: SimDuration,
+    /// Platform queueing delay.
+    pub queued: SimDuration,
+    /// Handler execution.
+    pub exec: SimDuration,
+    /// Response network transfer.
+    pub net_out: SimDuration,
+    /// Whether the invocation paid a cold start.
+    pub cold: bool,
+    /// Terminal outcome.
+    pub outcome: SpanOutcome,
+}
+
+impl Span {
+    /// Sum of all phases — equals end-to-end latency for successes.
+    pub fn total(&self) -> SimDuration {
+        self.batch + self.net_in + self.queued + self.exec + self.net_out
+    }
+}
+
+/// Extracts the request spans from a trace, in emission order.
+pub fn spans(events: &[TraceEvent]) -> Vec<Span> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::RequestSpan {
+                request,
+                client,
+                invocation,
+                arrival,
+                batch,
+                net_in,
+                queued,
+                exec,
+                net_out,
+                cold,
+                outcome,
+            } => Some(Span {
+                request,
+                client,
+                invocation,
+                arrival,
+                batch,
+                net_in,
+                queued,
+                exec,
+                net_out,
+                cold,
+                outcome,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+const PHASES: [&str; 5] = ["batch", "net_in", "queued", "exec", "net_out"];
+const PHASE_GLYPHS: [char; 5] = ['b', '>', 'q', '#', '<'];
+
+fn phase_values(s: &Span) -> [SimDuration; 5] {
+    [s.batch, s.net_in, s.queued, s.exec, s.net_out]
+}
+
+/// Phase-attribution table over successful request spans: where
+/// end-to-end latency goes, phase by phase, with streamed quantiles.
+pub fn phase_attribution(events: &[TraceEvent]) -> String {
+    let ok: Vec<Span> = spans(events)
+        .into_iter()
+        .filter(|s| s.outcome.is_success())
+        .collect();
+    let mut out = String::new();
+    if ok.is_empty() {
+        out.push_str("  (no successful request spans)\n");
+        return out;
+    }
+    let mut hists: Vec<LogLinearHistogram> =
+        (0..PHASES.len()).map(|_| LogLinearHistogram::default()).collect();
+    let mut sums = [0u64; 5];
+    let mut grand = 0u64;
+    for s in &ok {
+        for (i, d) in phase_values(s).into_iter().enumerate() {
+            hists[i].record(d.as_secs_f64());
+            sums[i] += d.as_micros();
+            grand += d.as_micros();
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "phase", "count", "mean s", "p50 s", "p95 s", "p99 s", "share"
+    );
+    for (i, name) in PHASES.iter().enumerate() {
+        let h = &hists[i];
+        let share = if grand == 0 {
+            0.0
+        } else {
+            100.0 * sums[i] as f64 / grand as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>6.1}%",
+            name,
+            h.count(),
+            h.mean().unwrap_or(0.0),
+            h.quantile(50.0).unwrap_or(0.0),
+            h.quantile(95.0).unwrap_or(0.0),
+            h.quantile(99.0).unwrap_or(0.0),
+            share,
+        );
+    }
+    out
+}
+
+/// Cold-start sub-stage table from `InstanceReady` events, mirroring the
+/// paper's boot → import → download → load breakdown.
+pub fn cold_start_breakdown(events: &[TraceEvent]) -> String {
+    let stages = ["boot", "import", "download", "load"];
+    let mut hists: Vec<LogLinearHistogram> =
+        stages.iter().map(|_| LogLinearHistogram::default()).collect();
+    let mut sums = [0u64; 4];
+    let mut total = 0u64;
+    let mut instances = 0u64;
+    for ev in events {
+        if let EventKind::InstanceReady {
+            boot,
+            import,
+            download,
+            load,
+            ..
+        } = ev.kind
+        {
+            instances += 1;
+            for (i, d) in [boot, import, download, load].into_iter().enumerate() {
+                hists[i].record(d.as_secs_f64());
+                sums[i] += d.as_micros();
+                total += d.as_micros();
+            }
+        }
+    }
+    let mut out = String::new();
+    if instances == 0 {
+        out.push_str("  (no cold-started instances)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<9} {:>8} {:>10} {:>10} {:>10} {:>7}",
+        "stage", "count", "mean s", "p50 s", "p99 s", "share"
+    );
+    for (i, name) in stages.iter().enumerate() {
+        let h = &hists[i];
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>6.1}%",
+            name,
+            h.count(),
+            h.mean().unwrap_or(0.0),
+            h.quantile(50.0).unwrap_or(0.0),
+            h.quantile(99.0).unwrap_or(0.0),
+            100.0 * sums[i] as f64 / total.max(1) as f64,
+        );
+    }
+    out
+}
+
+/// Waterfall of the `limit` slowest request spans: one bar per request,
+/// phases drawn left to right (`b` batch wait, `>` request network, `q`
+/// platform queue, `#` execution, `<` response network), widths
+/// proportional to the phase's share of that request's latency.
+pub fn waterfall(events: &[TraceEvent], limit: usize) -> String {
+    const WIDTH: usize = 40;
+    let mut all = spans(events);
+    // Slowest first; request index breaks ties so output is stable.
+    all.sort_by(|a, b| b.total().cmp(&a.total()).then(a.request.cmp(&b.request)));
+    all.truncate(limit);
+    let mut out = String::new();
+    if all.is_empty() {
+        out.push_str("  (no request spans)\n");
+        return out;
+    }
+    let max = all
+        .iter()
+        .map(|s| s.total().as_micros())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for s in &all {
+        let total = s.total().as_micros();
+        let bar_len = ((total as f64 / max as f64) * WIDTH as f64).round() as usize;
+        let mut bar = String::new();
+        if total > 0 {
+            let mut filled = 0usize;
+            let mut cum = 0u64;
+            for (i, d) in phase_values(s).into_iter().enumerate() {
+                cum += d.as_micros();
+                let upto = ((cum as f64 / total as f64) * bar_len as f64).round() as usize;
+                for _ in filled..upto {
+                    bar.push(PHASE_GLYPHS[i]);
+                }
+                filled = upto.max(filled);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  #{:<6} {:>9} {}{:>9.3}s |{bar:<WIDTH$}|",
+            s.request,
+            s.outcome.to_string(),
+            if s.cold { "cold " } else { "warm " },
+            s.total().as_secs_f64(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  legend: b batch-wait, > request-net, q queue, # exec, < response-net"
+    );
+    out
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct InstanceRow {
+    spawned: Option<SimTime>,
+    cause: Option<&'static str>,
+    ready: Option<SimTime>,
+    cold_total: SimDuration,
+    execs: u64,
+    crashed: bool,
+    reclaimed: Option<SimTime>,
+}
+
+/// Per-instance lifecycle timeline: spawn → ready (cold-start total) →
+/// executions → reclaim, one line per instance, at most `limit` lines
+/// (earliest-spawned instances first).
+pub fn instance_timeline(events: &[TraceEvent], limit: usize) -> String {
+    let mut rows: BTreeMap<(Component, u64), InstanceRow> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::InstanceSpawn {
+                component,
+                instance,
+                cause,
+            } => {
+                let row = rows.entry((component, instance)).or_default();
+                row.spawned = Some(ev.at);
+                row.cause = Some(match cause {
+                    crate::event::SpawnCause::Demand => "demand",
+                    crate::event::SpawnCause::Overprovision => "overprov",
+                    crate::event::SpawnCause::Provisioned => "provisioned",
+                });
+            }
+            EventKind::InstanceReady {
+                component,
+                instance,
+                boot,
+                import,
+                download,
+                load,
+            } => {
+                let row = rows.entry((component, instance)).or_default();
+                row.ready = Some(ev.at);
+                row.cold_total = boot + import + download + load;
+            }
+            EventKind::ExecStart {
+                component, instance, ..
+            } => rows.entry((component, instance)).or_default().execs += 1,
+            EventKind::InstanceCrash {
+                component, instance, ..
+            } => rows.entry((component, instance)).or_default().crashed = true,
+            EventKind::InstanceReclaim {
+                component, instance, ..
+            } => {
+                rows.entry((component, instance)).or_default().reclaimed = Some(ev.at);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("  (no instance events)\n");
+        return out;
+    }
+    let total = rows.len();
+    let mut ordered: Vec<((Component, u64), InstanceRow)> = rows.into_iter().collect();
+    ordered.sort_by_key(|(key, row)| (row.spawned.unwrap_or(SimTime::ZERO), *key));
+    for ((component, id), row) in ordered.iter().take(limit) {
+        let spawned = row
+            .spawned
+            .map_or("?".to_string(), |t| format!("{:.3}", t.as_secs_f64()));
+        let end = if row.crashed {
+            "crashed".to_string()
+        } else {
+            match row.reclaimed {
+                Some(t) => format!("reclaim@{:.3}", t.as_secs_f64()),
+                None => "alive".to_string(),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {:<10} #{:<5} spawn@{spawned:<10} {:<11} cold={:<8.3} execs={:<6} {end}",
+            component.to_string(),
+            id,
+            row.cause.unwrap_or("?"),
+            row.cold_total.as_secs_f64(),
+            row.execs,
+        );
+    }
+    if total > limit {
+        let _ = writeln!(out, "  … {} more instances", total - limit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpawnCause;
+
+    fn span_event(request: u64, exec_ms: u64, outcome: SpanOutcome) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(exec_ms),
+            kind: EventKind::RequestSpan {
+                request,
+                client: 0,
+                invocation: request,
+                arrival: SimTime::ZERO,
+                batch: SimDuration::from_millis(1),
+                net_in: SimDuration::from_millis(2),
+                queued: SimDuration::from_millis(3),
+                exec: SimDuration::from_millis(exec_ms),
+                net_out: SimDuration::from_millis(4),
+                cold: false,
+                outcome,
+            },
+        }
+    }
+
+    fn lifecycle_events() -> Vec<TraceEvent> {
+        let c = Component::Serverless;
+        vec![
+            TraceEvent {
+                at: SimTime::ZERO,
+                kind: EventKind::InstanceSpawn {
+                    component: c,
+                    instance: 0,
+                    cause: SpawnCause::Demand,
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(3),
+                kind: EventKind::InstanceReady {
+                    component: c,
+                    instance: 0,
+                    boot: SimDuration::from_millis(400),
+                    import: SimDuration::from_secs(2),
+                    download: SimDuration::from_millis(500),
+                    load: SimDuration::from_millis(100),
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(3),
+                kind: EventKind::ExecStart {
+                    component: c,
+                    request: 0,
+                    instance: 0,
+                    cold: true,
+                    done_at: SimTime::ZERO + SimDuration::from_secs(4),
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(600),
+                kind: EventKind::InstanceReclaim {
+                    component: c,
+                    instance: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = lifecycle_events();
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+        assert!(parse_jsonl("{not json}").is_err());
+        assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn summary_counts_kinds() {
+        let s = summary(&lifecycle_events());
+        assert!(s.contains("instance_spawn"), "{s}");
+        assert!(s.contains("exec_start"), "{s}");
+    }
+
+    #[test]
+    fn waterfall_orders_slowest_first() {
+        let events = vec![
+            span_event(0, 10, SpanOutcome::Success),
+            span_event(1, 500, SpanOutcome::Success),
+            span_event(2, 100, SpanOutcome::Success),
+        ];
+        let w = waterfall(&events, 2);
+        let pos1 = w.find("#1").unwrap();
+        let pos2 = w.find("#2").unwrap();
+        assert!(pos1 < pos2, "{w}");
+        assert!(!w.contains("#0 "), "{w}");
+        assert!(w.contains('#'), "{w}");
+    }
+
+    #[test]
+    fn attribution_reports_exec_dominant_share() {
+        let events = vec![
+            span_event(0, 990, SpanOutcome::Success),
+            span_event(1, 990, SpanOutcome::Success),
+            // Failures are excluded from attribution.
+            span_event(2, 0, SpanOutcome::QueueFull),
+        ];
+        let t = phase_attribution(&events);
+        assert!(t.contains("exec"), "{t}");
+        assert!(t.contains("99.0%"), "{t}");
+    }
+
+    #[test]
+    fn cold_breakdown_import_share() {
+        let t = cold_start_breakdown(&lifecycle_events());
+        // import (2s of 3s total) dominates.
+        assert!(t.contains("import"), "{t}");
+        assert!(t.contains("66.7%"), "{t}");
+        let none = cold_start_breakdown(&[]);
+        assert!(none.contains("no cold-started instances"));
+    }
+
+    #[test]
+    fn timeline_shows_lifecycle() {
+        let t = instance_timeline(&lifecycle_events(), 10);
+        assert!(t.contains("serverless"), "{t}");
+        assert!(t.contains("demand"), "{t}");
+        assert!(t.contains("reclaim@600.000"), "{t}");
+        assert!(t.contains("execs=1"), "{t}");
+    }
+
+    #[test]
+    fn span_total_sums_phases() {
+        let events = vec![span_event(5, 10, SpanOutcome::Success)];
+        let s = spans(&events);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].total(), SimDuration::from_millis(1 + 2 + 3 + 10 + 4));
+        assert!(run_closed(&events).is_none());
+    }
+}

@@ -6,6 +6,7 @@ use crate::managedml::{ManagedMlConfig, ManagedMlEvent, ManagedMlPlatform};
 use crate::request::{ServingRequest, ServingResponse};
 use crate::serverless::{ServerlessConfig, ServerlessEvent, ServerlessPlatform};
 use crate::vmserver::{VmEvent, VmServer, VmServerConfig};
+use slsb_obs::{EventKind, Recorder, TraceEvent};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimTime};
 
 /// Union of every platform family's internal events.
@@ -26,15 +27,35 @@ pub enum PlatformEvent {
 /// Write-side of the event queue handed to a platform while it handles an
 /// arrival or one of its own events. Collects `(delay, event)` pairs; the
 /// caller transfers them onto its real queue afterwards.
+///
+/// The scheduler also carries the run's optional [`Recorder`], which is the
+/// platforms' only window to the observability layer: [`PlatformScheduler::emit`]
+/// stamps events with the current virtual time. Recording is write-only —
+/// nothing a recorder does can flow back into scheduling decisions — so a
+/// run's behaviour is identical with recording on, off, or absent.
 pub struct PlatformScheduler<'a> {
     now: SimTime,
     out: &'a mut Vec<(SimDuration, PlatformEvent)>,
+    rec: Option<&'a mut dyn Recorder>,
 }
 
 impl<'a> PlatformScheduler<'a> {
-    /// A scheduler at virtual time `now` writing into `out`.
+    /// A scheduler at virtual time `now` writing into `out`, not recording.
     pub fn new(now: SimTime, out: &'a mut Vec<(SimDuration, PlatformEvent)>) -> Self {
-        PlatformScheduler { now, out }
+        PlatformScheduler {
+            now,
+            out,
+            rec: None,
+        }
+    }
+
+    /// A scheduler that additionally forwards trace events to `rec`.
+    pub fn with_recorder(
+        now: SimTime,
+        out: &'a mut Vec<(SimDuration, PlatformEvent)>,
+        rec: Option<&'a mut dyn Recorder>,
+    ) -> Self {
+        PlatformScheduler { now, out, rec }
     }
 
     /// Current virtual time.
@@ -45,6 +66,30 @@ impl<'a> PlatformScheduler<'a> {
     /// Schedules `ev` to fire `delay` from now.
     pub fn schedule(&mut self, delay: SimDuration, ev: PlatformEvent) {
         self.out.push((delay, ev));
+    }
+
+    /// Records a trace event stamped `now`. The closure only runs when a
+    /// recorder is attached and enabled, so instrumentation sites cost one
+    /// branch when recording is off.
+    pub fn emit(&mut self, f: impl FnOnce() -> EventKind) {
+        if let Some(rec) = self.rec.as_deref_mut() {
+            if rec.enabled() {
+                let ev = TraceEvent {
+                    at: self.now,
+                    kind: f(),
+                };
+                rec.record(&ev);
+            }
+        }
+    }
+
+    /// Reborrows the attached recorder, for building a nested scheduler
+    /// (the hybrid platform hands one to each of its children).
+    pub fn recorder(&mut self) -> Option<&mut dyn Recorder> {
+        match self.rec.as_deref_mut() {
+            Some(rec) => Some(rec as &mut dyn Recorder),
+            None => None,
+        }
     }
 }
 
@@ -372,5 +417,26 @@ mod tests {
             PlatformEvent::Vm(VmEvent::HandlerDone(0)),
         );
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_emit_stamps_current_time() {
+        use slsb_obs::{Component, MemoryRecorder};
+
+        let mut buf = Vec::new();
+        let mut rec = MemoryRecorder::new();
+        let now = SimTime::from_secs_f64(2.5);
+        let mut sched = PlatformScheduler::with_recorder(now, &mut buf, Some(&mut rec));
+        sched.emit(|| EventKind::RequestArrival {
+            component: Component::Vm,
+            request: 7,
+        });
+        drop(sched);
+        assert_eq!(rec.events().len(), 1);
+        assert_eq!(rec.events()[0].at, now);
+
+        // Without a recorder the closure must not even run.
+        let mut sched = PlatformScheduler::new(now, &mut buf);
+        sched.emit(|| unreachable!("emit closure ran with recording off"));
     }
 }

@@ -74,7 +74,7 @@ impl HybridPlatform {
         sched: &mut PlatformScheduler<'_>,
         f: impl FnOnce(&mut VmServer, &mut ServerlessPlatform, &mut PlatformScheduler<'_>) -> R,
     ) -> R {
-        let mut inner = PlatformScheduler::new(sched.now(), &mut self.buf);
+        let mut inner = PlatformScheduler::with_recorder(sched.now(), &mut self.buf, sched.recorder());
         let r = f(&mut self.vm, &mut self.serverless, &mut inner);
         for (d, ev) in self.buf.drain(..) {
             let wrapped = match ev {

@@ -20,8 +20,12 @@ use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
+use slsb_obs::{Component, EventKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Trace-event component tag for this platform.
+const COMPONENT: Component = Component::ManagedMl;
 
 /// How the autoscaler computes its desired instance count from the load it
 /// observed during the last evaluation window.
@@ -231,6 +235,15 @@ impl ManagedMlPlatform {
             self.meter.open(id, sched.now());
             self.ready.insert(id, MmlInstance { busy: false });
             self.gauge.record_delta(sched.now(), 1);
+            sched.emit(|| EventKind::InstanceSpawn {
+                component: COMPONENT,
+                instance: id,
+                cause: SpawnCause::Provisioned,
+            });
+            sched.emit(|| EventKind::InstanceWarm {
+                component: COMPONENT,
+                instance: id,
+            });
         }
         if sched.now() + self.cfg.params.eval_period <= horizon {
             sched.schedule(
@@ -248,10 +261,18 @@ impl ManagedMlPlatform {
 
     /// Handles an arriving request.
     pub fn submit(&mut self, sched: &mut PlatformScheduler<'_>, req: ServingRequest) {
+        sched.emit(|| EventKind::RequestArrival {
+            component: COMPONENT,
+            request: req.id.0,
+        });
         self.window_arrivals += 1;
         let capacity = self.cfg.params.queue_capacity_per_instance * self.ready.len().max(1);
         if self.queue.len() >= capacity {
             self.rejected += 1;
+            sched.emit(|| EventKind::RequestRejected {
+                component: COMPONENT,
+                request: req.id.0,
+            });
             self.responses.push(ServingResponse {
                 id: req.id,
                 outcome: Outcome::Failure(FailureReason::QueueFull),
@@ -262,6 +283,10 @@ impl ManagedMlPlatform {
             });
             return;
         }
+        sched.emit(|| EventKind::RequestQueued {
+            component: COMPONENT,
+            request: req.id.0,
+        });
         self.queue.push_back((req, sched.now()));
         self.dispatch(sched);
     }
@@ -273,6 +298,10 @@ impl ManagedMlPlatform {
                 if let Some(_ready_at) = self.provisioning.remove(&id) {
                     self.ready.insert(id, MmlInstance { busy: false });
                     self.gauge.record_delta(sched.now(), 1);
+                    sched.emit(|| EventKind::InstanceWarm {
+                        component: COMPONENT,
+                        instance: id,
+                    });
                     self.dispatch(sched);
                 }
             }
@@ -300,10 +329,18 @@ impl ManagedMlPlatform {
             let service = self.cfg.params.request_overhead + predict;
             self.busy_seconds += service.as_secs_f64();
             self.ready.get_mut(&id).expect("instance exists").busy = true;
+            let done_at = sched.now() + service;
+            sched.emit(|| EventKind::ExecStart {
+                component: COMPONENT,
+                request: req.id.0,
+                instance: id,
+                cold: false,
+                done_at,
+            });
             self.responses.push(ServingResponse {
                 id: req.id,
                 outcome: Outcome::Success,
-                completed_at: sched.now() + service,
+                completed_at: done_at,
                 cold_start: None,
                 predict,
                 queued: sched.now().duration_since(enqueued),
@@ -343,6 +380,11 @@ impl ManagedMlPlatform {
                 self.meter.open(id, sched.now());
                 let delay = self.rng.lognormal(p.provision_delay, p.jitter_sigma);
                 self.provisioning.insert(id, sched.now() + delay);
+                sched.emit(|| EventKind::InstanceSpawn {
+                    component: COMPONENT,
+                    instance: id,
+                    cause: SpawnCause::Demand,
+                });
                 sched.schedule(
                     delay,
                     PlatformEvent::ManagedMl(ManagedMlEvent::InstanceUp(id)),
@@ -358,6 +400,10 @@ impl ManagedMlPlatform {
                 self.ready.remove(&id);
                 self.meter.close(id, sched.now());
                 self.gauge.record_delta(sched.now(), -1);
+                sched.emit(|| EventKind::InstanceReclaim {
+                    component: COMPONENT,
+                    instance: id,
+                });
             }
         }
 

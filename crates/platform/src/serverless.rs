@@ -28,8 +28,12 @@ use crate::provider::CloudProvider;
 use crate::request::{ColdStartBreakdown, Outcome, ServingRequest, ServingResponse};
 use crate::storage::StorageProfile;
 use slsb_model::{first_predict_time, predict_time, CpuAllocation, ModelProfile, RuntimeProfile};
+use slsb_obs::{Component, EventKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
+
+/// The component tag this simulator stamps on trace events.
+const COMPONENT: Component = Component::Serverless;
 
 /// Provider-specific behavior knobs for a serverless platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -332,6 +336,15 @@ impl ServerlessPlatform {
             );
             self.idle.push(id);
             self.gauge.record_delta(sched.now(), 1);
+            sched.emit(|| EventKind::InstanceSpawn {
+                component: COMPONENT,
+                instance: id,
+                cause: SpawnCause::Provisioned,
+            });
+            sched.emit(|| EventKind::InstanceWarm {
+                component: COMPONENT,
+                instance: id,
+            });
         }
     }
 
@@ -357,9 +370,17 @@ impl ServerlessPlatform {
 
     /// Handles an arriving request.
     pub fn submit(&mut self, sched: &mut PlatformScheduler<'_>, req: ServingRequest) {
+        sched.emit(|| EventKind::RequestArrival {
+            component: COMPONENT,
+            request: req.id.0,
+        });
         if let Some(id) = self.pick_idle() {
             self.execute_warm(sched, id, req, SimDuration::ZERO);
         } else {
+            sched.emit(|| EventKind::RequestQueued {
+                component: COMPONENT,
+                request: req.id.0,
+            });
             self.pending.push_back(req);
             // Spawn when the backlog outgrows what the already-booting
             // demand-driven instances can be expected to absorb.
@@ -469,6 +490,18 @@ impl ServerlessPlatform {
             predict,
             queued,
         });
+        let done_at = sched.now() + handler;
+        sched.emit(|| EventKind::ExecStart {
+            component: COMPONENT,
+            request: req.id.0,
+            instance: id,
+            cold: false,
+            done_at,
+        });
+        sched.emit(|| EventKind::BillingTick {
+            component: COMPONENT,
+            billed: handler,
+        });
         sched.schedule(
             handler,
             PlatformEvent::Serverless(ServerlessEvent::HandlerDone(id)),
@@ -528,6 +561,15 @@ impl ServerlessPlatform {
             },
         );
         self.gauge.record_delta(sched.now(), 1);
+        sched.emit(|| EventKind::InstanceSpawn {
+            component: COMPONENT,
+            instance: id,
+            cause: if demanded {
+                SpawnCause::Demand
+            } else {
+                SpawnCause::Overprovision
+            },
+        });
         // The sandbox is ready (able to run the handler) after boot+import;
         // download/load/first-predict happen inside the first handler call.
         sched.schedule(
@@ -572,9 +614,21 @@ impl ServerlessPlatform {
             // invocation keeps waiting for the replacement.
             self.instances.remove(&id);
             self.gauge.record_delta(sched.now(), -1);
+            sched.emit(|| EventKind::InstanceCrash {
+                component: COMPONENT,
+                instance: id,
+            });
             self.spawn(sched, demanded);
             return;
         }
+        sched.emit(|| EventKind::InstanceReady {
+            component: COMPONENT,
+            instance: id,
+            boot: breakdown.boot,
+            import: breakdown.import,
+            download: breakdown.download,
+            load: breakdown.load,
+        });
         if p.bill_init {
             self.meter.record_init(breakdown.import);
         }
@@ -596,6 +650,22 @@ impl ServerlessPlatform {
                     predict,
                     queued: sched.now().saturating_duration_since(req.arrival),
                 });
+                let done_at = sched.now() + handler;
+                sched.emit(|| EventKind::InstanceWarm {
+                    component: COMPONENT,
+                    instance: id,
+                });
+                sched.emit(|| EventKind::ExecStart {
+                    component: COMPONENT,
+                    request: req.id.0,
+                    instance: id,
+                    cold: true,
+                    done_at,
+                });
+                sched.emit(|| EventKind::BillingTick {
+                    component: COMPONENT,
+                    billed: handler,
+                });
                 sched.schedule(
                     handler,
                     PlatformEvent::Serverless(ServerlessEvent::HandlerDone(id)),
@@ -612,6 +682,10 @@ impl ServerlessPlatform {
                 let warmup = breakdown.download + breakdown.load + lazy;
                 let inst = self.instances.get_mut(&id).expect("instance exists");
                 inst.warm = true;
+                sched.emit(|| EventKind::InstanceWarm {
+                    component: COMPONENT,
+                    instance: id,
+                });
                 sched.schedule(
                     warmup,
                     PlatformEvent::Serverless(ServerlessEvent::HandlerDone(id)),
@@ -651,6 +725,10 @@ impl ServerlessPlatform {
             self.instances.remove(&id);
             self.idle.retain(|&i| i != id);
             self.gauge.record_delta(sched.now(), -1);
+            sched.emit(|| EventKind::InstanceReclaim {
+                component: COMPONENT,
+                instance: id,
+            });
         }
     }
 }

@@ -13,8 +13,12 @@ use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
+use slsb_obs::{Component, EventKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
+
+/// The component tag this simulator stamps on trace events.
+const COMPONENT: Component = Component::Vm;
 
 /// CPU box or GPU box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,12 +168,29 @@ impl VmServer {
     pub fn start(&mut self, sched: &mut PlatformScheduler<'_>) {
         self.meter.open(0, sched.now());
         self.gauge.record(sched.now(), 1);
+        sched.emit(|| EventKind::InstanceSpawn {
+            component: COMPONENT,
+            instance: 0,
+            cause: SpawnCause::Provisioned,
+        });
+        sched.emit(|| EventKind::InstanceWarm {
+            component: COMPONENT,
+            instance: 0,
+        });
     }
 
     /// Handles an arriving request.
     pub fn submit(&mut self, sched: &mut PlatformScheduler<'_>, req: ServingRequest) {
+        sched.emit(|| EventKind::RequestArrival {
+            component: COMPONENT,
+            request: req.id.0,
+        });
         if self.queue.len() >= self.cfg.queue_capacity {
             self.rejected += 1;
+            sched.emit(|| EventKind::RequestRejected {
+                component: COMPONENT,
+                request: req.id.0,
+            });
             self.responses.push(ServingResponse {
                 id: req.id,
                 outcome: Outcome::Failure(FailureReason::QueueFull),
@@ -180,6 +201,10 @@ impl VmServer {
             });
             return;
         }
+        sched.emit(|| EventKind::RequestQueued {
+            component: COMPONENT,
+            request: req.id.0,
+        });
         self.queue.push_back((req, sched.now()));
         self.dispatch(sched);
     }
@@ -203,6 +228,10 @@ impl VmServer {
             let (req, enqueued) = self.queue.pop_front().expect("queue non-empty");
             if sched.now().saturating_duration_since(enqueued) > self.cfg.stale_after {
                 self.dropped_stale += 1;
+                sched.emit(|| EventKind::RequestDropped {
+                    component: COMPONENT,
+                    request: req.id.0,
+                });
                 continue;
             }
             let compute_median = match self.cfg.kind {
@@ -220,6 +249,14 @@ impl VmServer {
                 cold_start: None,
                 predict,
                 queued: sched.now().duration_since(enqueued),
+            });
+            let done_at = sched.now() + service;
+            sched.emit(|| EventKind::ExecStart {
+                component: COMPONENT,
+                request: req.id.0,
+                instance: worker as u64,
+                cold: false,
+                done_at,
             });
             sched.schedule(
                 service,

@@ -172,6 +172,95 @@ proptest! {
     }
 }
 
+/// Instances spawned over the run: the sum of positive steps in the
+/// instance gauge (the gauge records `(instant, new_value)` change points
+/// starting from zero).
+fn spawned_from_gauge(points: &[(SimTime, i64)]) -> i64 {
+    let mut prev = 0i64;
+    let mut spawned = 0i64;
+    for &(_, v) in points {
+        if v > prev {
+            spawned += v - prev;
+        }
+        prev = v;
+    }
+    spawned
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `PlatformReport` invariants on the serverless platform: request
+    /// conservation (ok + failed == submitted), cold starts bounded by the
+    /// gauge's spawn count, cost components summing to the total, and
+    /// utilization staying within [0, 1].
+    #[test]
+    fn serverless_report_invariants(times in arrivals(), seed in 0u64..500) {
+        let cfg = ServerlessConfig::new(
+            CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Ort14.profile(),
+        );
+        let mut h = PlatformHarness::serverless(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run();
+        let ok = rs.iter().filter(|r| r.outcome.is_success()).count();
+        let failed = rs.iter().filter(|r| !r.outcome.is_success()).count();
+        prop_assert_eq!(ok + failed, times.len(), "every request resolves");
+
+        let report = h.finalize_report();
+        let spawned = spawned_from_gauge(report.instances.points());
+        prop_assert!(
+            report.cold_started as i64 <= spawned,
+            "cold starts ({}) exceed instances spawned ({})",
+            report.cold_started,
+            spawned
+        );
+        let parts = report.cost.compute + report.cost.invocations + report.cost.provisioned;
+        prop_assert!(
+            (parts.as_dollars() - report.cost.total().as_dollars()).abs() < 1e-12,
+            "cost components must sum to the total"
+        );
+        if let Some(u) = report.utilization() {
+            prop_assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+    }
+
+    /// `PlatformReport` invariants on ManagedML: conservation with explicit
+    /// rejections, non-negative gauge, and cost component consistency.
+    #[test]
+    fn managedml_report_invariants(times in arrivals(), seed in 0u64..200) {
+        let cfg = ManagedMlConfig::new(
+            CloudProvider::Aws,
+            ModelKind::MobileNet.profile(),
+            RuntimeKind::Tf115.profile(),
+        );
+        let mut h = PlatformHarness::managedml(cfg, Seed(seed));
+        for (i, &t) in times.iter().enumerate() {
+            h.submit_at(t, request(i as u64, t));
+        }
+        let rs = h.run_until(400.0);
+        let ok = rs.iter().filter(|r| r.outcome.is_success()).count();
+        let failed = rs.iter().filter(|r| !r.outcome.is_success()).count();
+        prop_assert!(ok + failed <= times.len());
+
+        let report = h.finalize_report();
+        prop_assert!(report.instances.points().iter().all(|&(_, v)| v >= 0));
+        let spawned = spawned_from_gauge(report.instances.points());
+        prop_assert!(report.cold_started as i64 <= spawned);
+        let parts = report.cost.compute + report.cost.invocations + report.cost.provisioned;
+        prop_assert!(
+            (parts.as_dollars() - report.cost.total().as_dollars()).abs() < 1e-12,
+            "cost components must sum to the total"
+        );
+        if let Some(u) = report.utilization() {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -40,7 +40,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{Engine, EventQueue, System};
+pub use event::{Engine, EventQueue, Observer, System};
 pub use rng::{Seed, SimRng};
 pub use stats::{Accumulator, GaugeSeries, Histogram, SampleSet, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -151,8 +151,11 @@ impl SampleSet {
         Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 
-    /// The `q`-th percentile (0–100) using nearest-rank interpolation, or
-    /// `None` when empty.
+    /// The `q`-th percentile (0–100) by the nearest-rank definition: the
+    /// smallest sample such that at least `q`% of the set is ≤ it. Always an
+    /// observed value — never an interpolated one — so small sample counts
+    /// report real latencies instead of fabricated midpoints. `None` when
+    /// empty.
     ///
     /// # Panics
     /// Panics if `q` is outside `[0, 100]`.
@@ -167,11 +170,12 @@ impl SampleSet {
             self.sorted = true;
         }
         let n = self.samples.len();
-        let rank = (q / 100.0) * (n - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
-        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+        let idx = if q == 0.0 {
+            0
+        } else {
+            ((q / 100.0 * n as f64).ceil() as usize).max(1) - 1
+        };
+        Some(self.samples[idx.min(n - 1)])
     }
 
     /// Median (p50), or `None` when empty.
@@ -524,18 +528,49 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_interpolate() {
+    fn percentiles_use_nearest_rank() {
         let mut s = SampleSet::new();
         for x in [15.0, 20.0, 35.0, 40.0, 50.0] {
             s.push(x);
         }
         assert_eq!(s.percentile(0.0), Some(15.0));
         assert_eq!(s.percentile(100.0), Some(50.0));
+        // p50 of 5 samples: ceil(0.5·5) = rank 3 → 35.
         assert_eq!(s.median(), Some(35.0));
-        // p25 = rank 1.0 exactly
+        // p25: ceil(0.25·5) = rank 2 → 20.
         assert_eq!(s.percentile(25.0), Some(20.0));
-        // p10 = rank 0.4 → 15 + 0.4*(20-15) = 17
-        assert!((s.percentile(10.0).unwrap() - 17.0).abs() < 1e-12);
+        // p10: ceil(0.1·5) = rank 1 → the smallest sample, never an
+        // interpolated value below every observation.
+        assert_eq!(s.percentile(10.0), Some(15.0));
+        assert_eq!(s.percentile(95.0), Some(50.0));
+    }
+
+    #[test]
+    fn small_sample_percentiles_return_observed_values() {
+        // Nearest-rank must hand back actual observations at small n — the
+        // regime where interpolation fabricates values nobody measured.
+        let mut s = SampleSet::new();
+        for x in 1..=10 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.percentile(90.0), Some(9.0));
+        assert_eq!(s.percentile(91.0), Some(10.0));
+        assert_eq!(s.percentile(99.0), Some(10.0));
+        assert_eq!(s.percentile(50.0), Some(5.0));
+
+        let mut quad = SampleSet::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            quad.push(x);
+        }
+        assert_eq!(quad.percentile(50.0), Some(2.0));
+        assert_eq!(quad.percentile(75.0), Some(3.0));
+        assert_eq!(quad.percentile(76.0), Some(4.0));
+
+        let mut single = SampleSet::new();
+        single.push(42.0);
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.percentile(q), Some(42.0));
+        }
     }
 
     #[test]

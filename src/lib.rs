@@ -7,13 +7,14 @@
 //! systems it evaluates — Lambda, Cloud Functions, SageMaker, AI Platform,
 //! and self-rented CPU/GPU servers on EC2 and GCE.
 //!
-//! This crate is a facade: it re-exports the five member crates so an
+//! This crate is a facade: it re-exports the six member crates so an
 //! application can depend on one name. See each crate for details:
 //!
 //! - [`sim`] — deterministic discrete-event kernel;
 //! - [`workload`] — MMPP workload generation (the paper's Figure 4);
 //! - [`model`] — model/runtime profiles and calibration anchors;
 //! - [`platform`] — the eight simulated serving systems;
+//! - [`obs`] — deterministic tracing, streaming metrics, trace explorer;
 //! - [`core`] — planner, executor, analyzer, reports, design-space explorer.
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 
 pub use slsb_core as core;
 pub use slsb_model as model;
+pub use slsb_obs as obs;
 pub use slsb_platform as platform;
 pub use slsb_sim as sim;
 pub use slsb_workload as workload;

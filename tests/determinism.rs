@@ -6,6 +6,7 @@ use slsbench::core::{
     analyze, explore_jobs, replicate_jobs, Deployment, Executor, ExplorerGrid, Jobs, WorkloadSpec,
 };
 use slsbench::model::{ModelKind, RuntimeKind};
+use slsbench::obs::{trace_view, JsonlRecorder, MemoryRecorder, SpanOutcome};
 use slsbench::platform::PlatformKind;
 use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
@@ -135,6 +136,100 @@ fn replication_is_identical_across_worker_counts() {
         serde_json::to_string(&par).unwrap(),
         "replicate --jobs 8 must be byte-identical to --jobs 1"
     );
+}
+
+#[test]
+fn recording_is_write_only() {
+    // Attaching a recorder must not perturb the run: the analysis of a
+    // recorded run is byte-identical to the unrecorded one.
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+    ] {
+        let seed = Seed(77);
+        let tr = trace(seed);
+        let dep = Deployment::new(platform, ModelKind::Albert, RuntimeKind::Tf115);
+        let exec = Executor::default();
+        let plain = exec.run(&dep, &tr, seed).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let recorded = exec.run_recorded(&dep, &tr, seed, &mut rec).unwrap();
+        assert_eq!(
+            serde_json_digest(&analyze(&plain)),
+            serde_json_digest(&analyze(&recorded)),
+            "{platform:?}: recording must not change results"
+        );
+        assert!(
+            !rec.events().is_empty(),
+            "{platform:?}: the recorder must have seen events"
+        );
+    }
+}
+
+#[test]
+fn recorded_traces_are_byte_identical() {
+    // Two recorded runs of the same seed produce the same JSONL bytes.
+    let seed = Seed(42);
+    let tr = trace(seed);
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Ort14,
+    );
+    let exec = Executor::default();
+    let dump = |s: Seed| -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut rec = JsonlRecorder::new(&mut buf);
+        exec.run_recorded(&dep, &tr, s, &mut rec).unwrap();
+        rec.finish().unwrap();
+        buf
+    };
+    let a = dump(seed);
+    let b = dump(seed);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "trace output must be deterministic");
+}
+
+#[test]
+fn span_phases_sum_to_latency() {
+    // The acceptance contract for request spans: for every successful
+    // request, batch + net_in + queued + exec + net_out equals the
+    // end-to-end latency the executor recorded, exactly (integer µs).
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+    ] {
+        let seed = Seed(9);
+        let tr = trace(seed);
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let mut rec = MemoryRecorder::new();
+        let run = Executor::default()
+            .run_recorded(&dep, &tr, seed, &mut rec)
+            .unwrap();
+        let spans = trace_view::spans(rec.events());
+        assert_eq!(
+            spans.len(),
+            run.records.len(),
+            "{platform:?}: one span per request"
+        );
+        let mut successes = 0u64;
+        for span in &spans {
+            let record = &run.records[span.request as usize];
+            assert_eq!(record.index as u64, span.request);
+            if span.outcome == SpanOutcome::Success {
+                let latency = record.latency.expect("success implies latency");
+                assert_eq!(
+                    span.total(),
+                    latency,
+                    "{platform:?} request {}: phase sum must equal latency",
+                    span.request
+                );
+                successes += 1;
+            }
+        }
+        assert!(successes > 0, "{platform:?}: expected successful requests");
+    }
 }
 
 #[test]

@@ -334,6 +334,28 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", c)),
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_content(&self) -> Content {
         (**self).to_content()
@@ -374,6 +396,23 @@ mod tests {
             Vec::<u8>::from_content(&vec![1u8, 2].to_content()).unwrap(),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn btreemap_roundtrips_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let c = m.to_content();
+        match &c {
+            Content::Map(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        let back = std::collections::BTreeMap::<String, u64>::from_content(&c).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -7,4 +7,27 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Trace round-trip smoke: a recorded run must emit a JSONL trace the
+# explorer can parse, with event counts that cross-check exactly.
+# (A bare `cargo build --release` only builds the root package, so make
+# sure the slsb binary itself is current.)
+cargo build --release -p slsb-bench
+tracefile="$(mktemp /tmp/slsb-trace.XXXXXX.jsonl)"
+trap 'rm -f "$tracefile"' EXIT
+run_out="$(./target/release/slsb run scenarios/flash_crowd_serverless.json --trace "$tracefile")"
+reported="$(sed -n 's/^trace events  : //p' <<<"$run_out")"
+engine="$(sed -n 's/^engine events : //p' <<<"$run_out")"
+lines="$(wc -l <"$tracefile")"
+if [[ -z "$reported" || "$reported" != "$lines" ]]; then
+    echo "verify.sh: trace event count mismatch (reported ${reported:-none}, file has $lines)" >&2
+    exit 1
+fi
+explorer_out="$(./target/release/slsb trace "$tracefile")"
+explorer_engine="$(sed -n 's/^engine events : //p' <<<"$explorer_out")"
+if [[ -z "$engine" || "$engine" != "$explorer_engine" ]]; then
+    echo "verify.sh: engine event count mismatch (run ${engine:-none}, trace ${explorer_engine:-none})" >&2
+    exit 1
+fi
+echo "verify.sh: trace round-trip ok ($lines trace events, $engine engine events)"
+
 echo "verify.sh: all gates passed"
