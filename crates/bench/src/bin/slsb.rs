@@ -19,11 +19,11 @@
 use slsb_bench::cli::extract_log_level;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
-    Deployment, Executor, ExplorerGrid, Jobs, Scenario, Table, WorkloadSpec,
+    Deployment, Executor, ExplorerGrid, Jobs, RetryPolicy, Scenario, Table, WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_obs::{set_log_level, trace_view, JsonlRecorder};
-use slsb_platform::PlatformKind;
+use slsb_platform::{FaultPlan, PlatformKind};
 use slsb_sim::Seed;
 use slsb_workload::MmppPreset;
 use std::process::ExitCode;
@@ -32,15 +32,20 @@ const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N]
-  slsb run       <scenario.json> [--trace FILE]
+  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--seed N]
   slsb trace     <trace.jsonl>
 
 --jobs N runs N simulations in parallel (default: all cores; results are
 bit-identical to --jobs 1 for any N).
 --log-level <quiet|info|debug> (any position) controls progress chatter.
 run --trace FILE streams every simulation event to FILE as JSONL;
+run --faults FILE overrides the scenario's fault-injection plan with a
+JSON FaultPlan; --retry SPEC sets the client retry policy (SPEC is
+'off' or comma-separated key=value pairs: attempts=N timeout=S base=S
+max=S jitter=F budget=N, e.g. 'attempts=3,base=0.5'); --seed N
+overrides the scenario seed.
 trace renders a recorded file: per-request waterfall, phase attribution,
-cold-start breakdown, and per-instance timelines.
+cold-start breakdown, fault attribution, and per-instance timelines.
 
 platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
 
@@ -283,11 +288,69 @@ fn cmd_replicate(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(path: &str, trace_out: Option<&str>) -> Result<(), String> {
+/// Flags accepted by `slsb run` after the scenario path.
+#[derive(Debug, Default, PartialEq)]
+struct RunOptions {
+    trace_out: Option<String>,
+    faults: Option<String>,
+    retry: Option<String>,
+    seed: Option<u64>,
+}
+
+/// Removes `flag VALUE` from `args` wherever it appears, returning the
+/// value. Follows the same drain idiom as [`extract_log_level`].
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let mut drained = args.drain(pos..pos + 2);
+    drained.next();
+    Ok(drained.next())
+}
+
+/// Splits `slsb run` arguments into the scenario path and its flags,
+/// which may appear in any order.
+fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let o = RunOptions {
+        trace_out: take_flag(&mut args, "--trace")?,
+        faults: take_flag(&mut args, "--faults")?,
+        retry: take_flag(&mut args, "--retry")?,
+        seed: take_flag(&mut args, "--seed")?
+            .map(|v| v.parse().map_err(|_| format!("bad seed {v:?}")))
+            .transpose()?,
+    };
+    match args.as_slice() {
+        [path] => Ok((path.clone(), o)),
+        [] => Err(format!("run needs a scenario file\n{USAGE}")),
+        other => Err(format!("unexpected run arguments {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
+    let mut scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
+    if let Some(faults_path) = &opts.faults {
+        let text = std::fs::read_to_string(faults_path)
+            .map_err(|e| format!("cannot read {faults_path}: {e}"))?;
+        let plan: FaultPlan = serde_json::from_str(&text)
+            .map_err(|e| format!("{faults_path}: invalid fault plan: {e}"))?;
+        plan.validate()
+            .map_err(|e| format!("{faults_path}: invalid fault plan: {e}"))?;
+        scenario.faults = plan;
+    }
+    if let Some(spec) = &opts.retry {
+        scenario.executor.retry =
+            RetryPolicy::parse_spec(spec).map_err(|e| format!("--retry {spec:?}: {e}"))?;
+    }
+    if let Some(seed) = opts.seed {
+        scenario.seed = seed;
+    }
     let mut trace_events = None;
-    let (run, a) = match trace_out {
+    let (run, a) = match opts.trace_out.as_deref() {
         None => scenario.run().map_err(|e| e.to_string())?,
         Some(out_path) => {
             let file = std::fs::File::create(out_path)
@@ -307,6 +370,9 @@ fn cmd_run(path: &str, trace_out: Option<&str>) -> Result<(), String> {
     println!("success ratio : {}", fmt_pct(a.success_ratio));
     println!("mean latency  : {}", fmt_opt_secs(a.mean_latency()));
     println!("cost          : {}", fmt_money(a.cost.total()));
+    println!("plat. faults  : {}", a.faults);
+    println!("client faults : {}", a.client_faults);
+    println!("retries       : {}", a.retries);
     println!("engine events : {}", run.engine_events);
     if let Some(n) = trace_events {
         println!("trace events  : {n}");
@@ -334,6 +400,7 @@ fn cmd_trace(path: &str) -> Result<(), String> {
     println!("{}", trace_view::summary(&events));
     println!("{}", trace_view::phase_attribution(&events));
     println!("{}", trace_view::cold_start_breakdown(&events));
+    println!("{}", trace_view::fault_attribution(&events));
     println!("{}", trace_view::waterfall(&events, 20));
     println!("{}", trace_view::instance_timeline(&events, 20));
     Ok(())
@@ -357,11 +424,7 @@ fn main() -> ExitCode {
         "compare" => parse_options(rest).and_then(|o| cmd_compare(&o)),
         "explore" => parse_options(rest).and_then(|o| cmd_explore(&o)),
         "replicate" => parse_options(rest).and_then(|o| cmd_replicate(&o)),
-        "run" => match rest {
-            [path] => cmd_run(path, None),
-            [path, flag, out] if flag == "--trace" => cmd_run(path, Some(out)),
-            _ => Err("run needs a scenario file, optionally followed by --trace FILE".into()),
-        },
+        "run" => parse_run_args(rest).and_then(|(path, opts)| cmd_run(&path, &opts)),
         "trace" => match rest {
             [path] => cmd_trace(path),
             _ => Err("trace needs exactly one trace file".into()),
@@ -441,6 +504,43 @@ mod tests {
             assert_eq!(parse_platform(&lower).unwrap(), p);
         }
         assert!(parse_platform("azure-functions").is_err());
+    }
+
+    #[test]
+    fn run_args_accept_flags_in_any_order() {
+        let (path, o) = parse_run_args(&strs(&[
+            "--retry",
+            "attempts=3",
+            "scenario.json",
+            "--faults",
+            "faults.json",
+            "--seed",
+            "9",
+            "--trace",
+            "out.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(path, "scenario.json");
+        assert_eq!(o.trace_out.as_deref(), Some("out.jsonl"));
+        assert_eq!(o.faults.as_deref(), Some("faults.json"));
+        assert_eq!(o.retry.as_deref(), Some("attempts=3"));
+        assert_eq!(o.seed, Some(9));
+    }
+
+    #[test]
+    fn run_args_reject_malformed_invocations() {
+        // No scenario path.
+        assert!(parse_run_args(&strs(&["--trace", "out.jsonl"])).is_err());
+        // Flag without a value.
+        assert!(parse_run_args(&strs(&["scenario.json", "--faults"])).is_err());
+        // Two positional arguments.
+        assert!(parse_run_args(&strs(&["a.json", "b.json"])).is_err());
+        // Non-numeric seed.
+        assert!(parse_run_args(&strs(&["a.json", "--seed", "xyz"])).is_err());
+        // Bare path still works with no flags at all.
+        let (path, o) = parse_run_args(&strs(&["a.json"])).unwrap();
+        assert_eq!(path, "a.json");
+        assert_eq!(o, RunOptions::default());
     }
 
     #[test]

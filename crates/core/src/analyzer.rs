@@ -80,6 +80,18 @@ pub struct Analysis {
     pub failed_timeout: u64,
     /// Other platform rejections.
     pub failed_rejected: u64,
+    /// Failures from injected admission throttling or outage windows.
+    pub failed_throttled: u64,
+    /// Failures from injected instance / handler crashes.
+    pub failed_crashed: u64,
+    /// Failures after the client retry policy ran out of attempts.
+    pub failed_retries: u64,
+    /// Discrete faults the platform's injector fired during the run.
+    pub faults: u64,
+    /// Client-path faults (request packets lost in flight).
+    pub client_faults: u64,
+    /// Re-sends the client fleet issued beyond first attempts.
+    pub retries: u64,
     /// The paper's success ratio (SR).
     pub success_ratio: f64,
     /// Latency aggregates over successes (absent when nothing succeeded).
@@ -125,6 +137,9 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
     let mut failed_queue_full = 0;
     let mut failed_timeout = 0;
     let mut failed_rejected = 0;
+    let mut failed_throttled = 0;
+    let mut failed_crashed = 0;
+    let mut failed_retries = 0;
 
     let mut cold_e2e = SampleSet::new();
     let mut warm_e2e = SampleSet::new();
@@ -164,6 +179,9 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
                     FailureReason::QueueFull => failed_queue_full += 1,
                     FailureReason::ClientTimeout => failed_timeout += 1,
                     FailureReason::Rejected => failed_rejected += 1,
+                    FailureReason::Throttled => failed_throttled += 1,
+                    FailureReason::Crashed => failed_crashed += 1,
+                    FailureReason::RetriesExhausted => failed_retries += 1,
                 }
             }
         }
@@ -212,6 +230,12 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
         failed_queue_full,
         failed_timeout,
         failed_rejected,
+        failed_throttled,
+        failed_crashed,
+        failed_retries,
+        faults: run.platform.faults,
+        client_faults: run.client_faults,
+        retries: run.retries,
         success_ratio: if total == 0 {
             1.0
         } else {
@@ -266,11 +290,19 @@ pub fn run_metrics(run: &RunResult) -> MetricsRegistry {
             Outcome::Failure(FailureReason::QueueFull) => m.inc("requests_queue_full", 1),
             Outcome::Failure(FailureReason::ClientTimeout) => m.inc("requests_timeout", 1),
             Outcome::Failure(FailureReason::Rejected) => m.inc("requests_rejected", 1),
+            Outcome::Failure(FailureReason::Throttled) => m.inc("requests_throttled", 1),
+            Outcome::Failure(FailureReason::Crashed) => m.inc("requests_crashed", 1),
+            Outcome::Failure(FailureReason::RetriesExhausted) => {
+                m.inc("requests_retries_exhausted", 1)
+            }
         }
     }
     m.inc("cold_starts", run.platform.cold_started);
     m.inc("invocations", run.platform.invocations);
     m.inc("engine_events", run.engine_events);
+    m.inc("faults_total", run.platform.faults);
+    m.inc("client_faults_total", run.client_faults);
+    m.inc("retries_total", run.retries);
     m.gauge_max("peak_instances", run.platform.instances.peak());
     m
 }
@@ -350,7 +382,13 @@ mod tests {
         let run = run_small(PlatformKind::AwsCpu, 80.0);
         let a = analyze(&run);
         assert_eq!(
-            a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
+            a.succeeded
+                + a.failed_queue_full
+                + a.failed_timeout
+                + a.failed_rejected
+                + a.failed_throttled
+                + a.failed_crashed
+                + a.failed_retries,
             a.total
         );
         assert!((a.success_ratio - a.succeeded as f64 / a.total as f64).abs() < 1e-12);

@@ -11,13 +11,154 @@ use crate::batching::{plan_invocations, BatchPolicy, Invocation};
 use crate::plan::{Deployment, PlanError};
 use serde::{Deserialize, Serialize};
 use slsb_model::ModelKind;
-use slsb_obs::{EventKind, Recorder, SpanOutcome, TraceEvent};
+use slsb_obs::{EventKind, FaultKind, Recorder, SpanOutcome, TraceEvent};
 use slsb_platform::{
-    ColdStartBreakdown, FailureReason, NetworkProfile, Outcome, Platform, PlatformEvent,
-    PlatformReport, PlatformScheduler, RequestId, ServingRequest,
+    ColdStartBreakdown, FailureReason, FaultInjector, FaultPlan, NetworkProfile, Outcome, Platform,
+    PlatformEvent, PlatformReport, PlatformScheduler, RequestId, ServingRequest,
 };
-use slsb_sim::{Engine, EventQueue, Seed, SimDuration, SimTime, System};
+use slsb_sim::{Engine, EventQueue, Seed, SimDuration, SimRng, SimTime, System};
 use slsb_workload::{InputKind, RequestPool, WorkloadTrace};
+
+/// Client retry policy: how an invocation is re-issued after a failed or
+/// timed-out attempt. The default (`max_attempts = 1`) disables retries
+/// entirely, and the disabled policy is guaranteed to leave the executor's
+/// legacy single-attempt path byte-identical.
+///
+/// An attempt fails when the platform answers with any failure, or when no
+/// response reaches the client within [`RetryPolicy::attempt_timeout`] of
+/// the attempt being sent. Between attempts the client backs off
+/// exponentially — `base_backoff · 2^(attempt-1)` capped at `max_backoff` —
+/// plus a deterministic jitter drawn from the run seed's `"retry-backoff"`
+/// substream. Retrying never extends the overall client deadline: an
+/// attempt that could only fire after `arrival + timeout` is not sent, and
+/// a fleet-wide [`RetryPolicy::budget`] bounds total re-sends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per invocation, first send included (1 = disabled).
+    #[serde(default = "default_one_attempt")]
+    pub max_attempts: u32,
+    /// Per-attempt client timeout, measured from the attempt's send.
+    #[serde(default = "default_attempt_timeout")]
+    pub attempt_timeout: SimDuration,
+    /// Backoff before the second attempt; doubles each further attempt.
+    #[serde(default = "default_base_backoff")]
+    pub base_backoff: SimDuration,
+    /// Upper bound on the (pre-jitter) backoff.
+    #[serde(default = "default_max_backoff")]
+    pub max_backoff: SimDuration,
+    /// Jitter fraction: each backoff is stretched by up to this fraction,
+    /// drawn deterministically from the run seed.
+    #[serde(default = "default_retry_jitter")]
+    pub jitter: f64,
+    /// Fleet-wide budget of re-sends; once spent, failures resolve
+    /// immediately. Guards against retry storms amplifying an outage.
+    #[serde(default = "default_retry_budget")]
+    pub budget: u64,
+}
+
+fn default_one_attempt() -> u32 {
+    1
+}
+
+fn default_attempt_timeout() -> SimDuration {
+    SimDuration::from_secs(10)
+}
+
+fn default_base_backoff() -> SimDuration {
+    SimDuration::from_millis(500)
+}
+
+fn default_max_backoff() -> SimDuration {
+    SimDuration::from_secs(8)
+}
+
+fn default_retry_jitter() -> f64 {
+    0.25
+}
+
+fn default_retry_budget() -> u64 {
+    u64::MAX
+}
+
+fn default_retry() -> RetryPolicy {
+    RetryPolicy::disabled()
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: one attempt, legacy client behavior.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            attempt_timeout: default_attempt_timeout(),
+            base_backoff: default_base_backoff(),
+            max_backoff: default_max_backoff(),
+            jitter: default_retry_jitter(),
+            budget: default_retry_budget(),
+        }
+    }
+
+    /// A sensible enabled policy: 3 attempts, 10 s per attempt, 0.5 s → 8 s
+    /// exponential backoff with 25 % jitter, unbounded budget.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::disabled()
+        }
+    }
+
+    /// Whether the retry machinery is active at all.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Parses a compact `key=value` spec, e.g.
+    /// `"attempts=3,timeout=10,base=0.5,max=8,jitter=0.25,budget=1000"`
+    /// (durations in seconds). Unspecified keys keep the
+    /// [`RetryPolicy::standard`] values; `"off"` yields the disabled policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed key or value.
+    pub fn parse_spec(spec: &str) -> Result<RetryPolicy, String> {
+        if spec.trim() == "off" {
+            return Ok(RetryPolicy::disabled());
+        }
+        let mut p = RetryPolicy::standard();
+        for part in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("retry spec item '{part}' is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("retry spec '{key}' has a malformed value '{value}'"))
+            }
+            match key {
+                "attempts" => p.max_attempts = num(key, value)?,
+                "timeout" => p.attempt_timeout = SimDuration::from_secs_f64(num(key, value)?),
+                "base" => p.base_backoff = SimDuration::from_secs_f64(num(key, value)?),
+                "max" => p.max_backoff = SimDuration::from_secs_f64(num(key, value)?),
+                "jitter" => p.jitter = num(key, value)?,
+                "budget" => p.budget = num(key, value)?,
+                other => return Err(format!("unknown retry spec key '{other}'")),
+            }
+        }
+        if p.max_attempts == 0 {
+            return Err("retry spec needs attempts >= 1".into());
+        }
+        if !(0.0..=10.0).contains(&p.jitter) {
+            return Err(format!("retry jitter {} out of range [0, 10]", p.jitter));
+        }
+        Ok(p)
+    }
+}
 
 /// Client-fleet configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,6 +175,9 @@ pub struct ExecutorConfig {
     /// deployment's `batch_size`; `Some` replaces it (used by the adaptive-
     /// batching extension).
     pub batch_override: Option<BatchPolicy>,
+    /// Client retry policy (disabled by default).
+    #[serde(default = "default_retry")]
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecutorConfig {
@@ -44,6 +188,7 @@ impl Default for ExecutorConfig {
             timeout: SimDuration::from_secs(60),
             network: NetworkProfile::DEFAULT,
             batch_override: None,
+            retry: RetryPolicy::disabled(),
         }
     }
 }
@@ -91,6 +236,11 @@ pub struct RunResult {
     /// Discrete events the simulation kernel delivered during the run —
     /// cross-checkable against the trace's closing `run_closed` event.
     pub engine_events: u64,
+    /// Client-path faults injected (request packets lost in flight).
+    pub client_faults: u64,
+    /// Re-sends the client fleet issued beyond each invocation's first
+    /// attempt (0 whenever the retry policy is disabled).
+    pub retries: u64,
 }
 
 impl RunResult {
@@ -126,11 +276,33 @@ impl RunResult {
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     cfg: ExecutorConfig,
+    faults: FaultPlan,
 }
 
 enum ExecEvent {
+    /// An invocation's payload reaches the platform. In retry mode the id
+    /// encodes the attempt: `id = (attempt - 1) · n_invocations + inv`.
     Deliver(usize),
     Platform(PlatformEvent),
+    /// A platform response reaches the issuing client (retry mode only);
+    /// carries an index into the response log.
+    ClientRecv(usize),
+    /// An attempt's per-attempt timeout expired (retry mode only); carries
+    /// the attempt-encoded invocation id.
+    AttemptTimeout(usize),
+}
+
+/// The client-side fate of one invocation, fixed the moment the issuing
+/// client stops waiting (accepts a response, exhausts retries, or hits a
+/// deadline).
+#[derive(Debug, Clone, Copy)]
+struct Resolution {
+    outcome: Outcome,
+    /// When the client received the resolving response (successes).
+    received_at: SimTime,
+    predict: SimDuration,
+    queued: SimDuration,
+    cold_start: Option<ColdStartBreakdown>,
 }
 
 struct ExecSystem<'r> {
@@ -144,6 +316,26 @@ struct ExecSystem<'r> {
     buffer: Vec<(SimDuration, PlatformEvent)>,
     /// Trace sink threaded into every platform scheduler, if recording.
     rec: Option<&'r mut dyn Recorder>,
+    /// Client-path fault injector (packet loss, request-path jitter).
+    client_faults: FaultInjector,
+    /// Retry machinery; everything below is inert when it is disabled.
+    retry: RetryPolicy,
+    /// Invocation count, for decoding attempt-encoded request ids.
+    n_inv: usize,
+    /// Network time on each invocation's request path (pre-jitter).
+    net_in: Vec<SimDuration>,
+    /// Response-path network time.
+    response_net: SimDuration,
+    /// Per-invocation overall client deadline (`send_at + timeout`).
+    deadline: Vec<SimTime>,
+    /// Current attempt per invocation, 1-based (retry mode only).
+    attempt: Vec<u32>,
+    /// Client-side fate per invocation, once fixed (retry mode only).
+    resolution: Vec<Option<Resolution>>,
+    /// Re-sends issued so far, bounded by the policy budget.
+    retries_used: u64,
+    /// Deterministic jitter source for retry backoffs.
+    backoff_rng: SimRng,
 }
 
 impl ExecSystem<'_> {
@@ -161,44 +353,194 @@ impl ExecSystem<'_> {
         r
     }
 
-    fn drain(&mut self) {
+    fn drain(&mut self, queue: &mut EventQueue<ExecEvent>) {
+        let retrying = self.retry.enabled();
+        let new = self.platform.drain_responses();
+        for resp in new {
+            let receive_at = resp.completed_at + self.response_net;
+            let idx = self.responses.len();
+            self.responses.push((resp.id.0 as usize, resp));
+            if retrying {
+                queue.schedule_at(receive_at, ExecEvent::ClientRecv(idx));
+            }
+        }
+    }
+
+    /// Post-run drain: collects responses without arming client events
+    /// (the engine has stopped; late receipts can no longer matter).
+    fn drain_final(&mut self) {
         let new = self.platform.drain_responses();
         for resp in new {
             self.responses.push((resp.id.0 as usize, resp));
         }
+    }
+
+    fn decode(&self, id: usize) -> (usize, u32) {
+        let n = self.n_inv.max(1);
+        (id % n, (id / n) as u32 + 1)
+    }
+
+    /// Whether an event about `inv`'s attempt `attempt` is stale: the
+    /// invocation already resolved, or the client has moved on to a later
+    /// attempt (late responses from abandoned attempts are dropped).
+    fn stale(&self, inv: usize, attempt: u32) -> bool {
+        self.resolution[inv].is_some() || self.attempt[inv] != attempt
+    }
+
+    fn emit_fault(&mut self, at: SimTime, kind: FaultKind) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            if r.enabled() {
+                r.record(&TraceEvent {
+                    at,
+                    kind: EventKind::Fault {
+                        component: None,
+                        kind,
+                    },
+                });
+            }
+        }
+    }
+
+    /// One attempt failed (platform failure or per-attempt timeout):
+    /// schedule the next attempt if policy, budget, and the overall
+    /// deadline allow, otherwise fix the invocation's failure.
+    fn attempt_failed(
+        &mut self,
+        queue: &mut EventQueue<ExecEvent>,
+        inv: usize,
+        reason: FailureReason,
+    ) {
+        let attempt = self.attempt[inv];
+        let now = queue.now();
+        if attempt < self.retry.max_attempts && self.retries_used < self.retry.budget {
+            let base = (self.retry.base_backoff.as_secs_f64()
+                * f64::from(1u32 << (attempt - 1).min(20)))
+            .min(self.retry.max_backoff.as_secs_f64());
+            let jitter = if self.retry.jitter > 0.0 {
+                base * self.retry.jitter * self.backoff_rng.uniform()
+            } else {
+                0.0
+            };
+            let send_at = now + SimDuration::from_secs_f64(base + jitter);
+            if send_at <= self.deadline[inv] {
+                self.retries_used += 1;
+                self.attempt[inv] = attempt + 1;
+                let id = attempt as usize * self.n_inv + inv;
+                let deliver_at = send_at + self.net_in[inv] + self.client_faults.client_jitter();
+                queue.schedule_at(deliver_at, ExecEvent::Deliver(id));
+                queue.schedule_at(
+                    send_at + self.retry.attempt_timeout,
+                    ExecEvent::AttemptTimeout(id),
+                );
+                return;
+            }
+        }
+        // No further attempt: exhausted attempts surface as their own
+        // failure class; budget or deadline exhaustion keeps the last
+        // attempt's own reason.
+        let final_reason = if attempt >= self.retry.max_attempts {
+            FailureReason::RetriesExhausted
+        } else {
+            reason
+        };
+        self.resolution[inv] = Some(Resolution {
+            outcome: Outcome::Failure(final_reason),
+            received_at: now,
+            predict: SimDuration::ZERO,
+            queued: SimDuration::ZERO,
+            cold_start: None,
+        });
     }
 }
 
 impl System for ExecSystem<'_> {
     type Ev = ExecEvent;
     fn handle(&mut self, queue: &mut EventQueue<ExecEvent>, _at: SimTime, ev: ExecEvent) {
+        let sys = self;
         match ev {
-            ExecEvent::Deliver(idx) => {
+            ExecEvent::Deliver(id) => {
+                let (inv, attempt) = sys.decode(id);
+                if sys.retry.enabled() && sys.stale(inv, attempt) {
+                    return;
+                }
+                if sys.client_faults.drop_packet() {
+                    // The platform never sees the request; the attempt
+                    // timeout (retry mode) or the client timeout (legacy
+                    // mode) is what the client eventually observes.
+                    sys.emit_fault(queue.now(), FaultKind::PacketLoss);
+                    return;
+                }
                 let req = ServingRequest {
-                    id: RequestId(idx as u64),
+                    id: RequestId(id as u64),
                     arrival: queue.now(),
-                    payload_bytes: self.payload_per_invocation[idx],
-                    inferences: self.inferences_per_invocation[idx],
+                    payload_bytes: sys.payload_per_invocation[inv],
+                    inferences: sys.inferences_per_invocation[inv],
                 };
-                self.with_platform(queue, |p, s| p.submit(s, req));
+                sys.with_platform(queue, |p, s| p.submit(s, req));
             }
             ExecEvent::Platform(e) => {
-                self.with_platform(queue, |p, s| p.handle(s, e));
+                sys.with_platform(queue, |p, s| p.handle(s, e));
+            }
+            ExecEvent::ClientRecv(idx) => {
+                let (id, resp) = sys.responses[idx];
+                let (inv, attempt) = sys.decode(id);
+                if sys.stale(inv, attempt) {
+                    return;
+                }
+                match resp.outcome {
+                    Outcome::Success => {
+                        sys.resolution[inv] = Some(Resolution {
+                            outcome: Outcome::Success,
+                            received_at: queue.now(),
+                            predict: resp.predict,
+                            queued: resp.queued,
+                            cold_start: resp.cold_start,
+                        });
+                    }
+                    Outcome::Failure(reason) => {
+                        sys.attempt_failed(queue, inv, reason);
+                    }
+                }
+            }
+            ExecEvent::AttemptTimeout(id) => {
+                let (inv, attempt) = sys.decode(id);
+                if sys.stale(inv, attempt) {
+                    return;
+                }
+                sys.attempt_failed(queue, inv, FailureReason::ClientTimeout);
             }
         }
-        self.drain();
+        sys.drain(queue);
     }
 }
 
 impl Executor {
     /// An executor with the given configuration.
     pub fn new(cfg: ExecutorConfig) -> Self {
-        Executor { cfg }
+        Executor {
+            cfg,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ExecutorConfig {
         &self.cfg
+    }
+
+    /// Installs a fault plan on every run this executor performs. The plan
+    /// is threaded into the platform (crashes, storage faults, throttling,
+    /// outages) and into the client path (jitter, packet loss); an empty
+    /// plan is a byte-identical no-op.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The request pool an executor builds for `model`.
@@ -270,6 +612,11 @@ impl Executor {
         rec: Option<&mut dyn Recorder>,
     ) -> RunResult {
         let tracing = rec.as_deref().is_some_and(|r| r.enabled());
+        let retrying = self.cfg.retry.enabled();
+        let mut platform = platform;
+        // An empty plan installs an injector that never draws, so this is
+        // unconditional without costing byte-identity.
+        platform.set_faults(&self.faults, seed);
         let pool = self.pool_for(deployment.model, deployment.samples_per_request);
 
         // Assign requests to clients round-robin (the paper's splitter) and
@@ -334,17 +681,34 @@ impl Executor {
             .collect();
 
         // Assemble the engine. Deliveries are scheduled up front so the
-        // system can own the invocation tables outright.
-        let deliveries: Vec<(usize, SimTime)> = invocations
+        // system can own the invocation tables outright. First-attempt
+        // client-path jitter is drawn here in invocation order; retry-time
+        // draws then follow in event order — both deterministic.
+        let mut client_faults = FaultInjector::new(self.faults.clone(), seed.substream("client-faults"));
+        let net_in: Vec<SimDuration> = payload_per_invocation
+            .iter()
+            .map(|&bytes| self.cfg.network.transfer_time(bytes))
+            .collect();
+        let deliveries: Vec<(usize, SimTime, SimTime)> = invocations
             .iter()
             .enumerate()
             .map(|(idx, inv)| {
                 (
                     idx,
-                    inv.send_at + self.cfg.network.transfer_time(payload_per_invocation[idx]),
+                    inv.send_at,
+                    inv.send_at + net_in[idx] + client_faults.client_jitter(),
                 )
             })
             .collect();
+        let n_inv = invocations.len();
+        let deadline: Vec<SimTime> = if retrying {
+            invocations
+                .iter()
+                .map(|inv| inv.send_at + self.cfg.timeout)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut engine = Engine::new(ExecSystem {
             platform,
             invocations,
@@ -353,6 +717,16 @@ impl Executor {
             responses: Vec::new(),
             buffer: Vec::new(),
             rec,
+            client_faults,
+            retry: self.cfg.retry,
+            n_inv,
+            net_in,
+            response_net: self.cfg.network.response_time(),
+            deadline,
+            attempt: if retrying { vec![1; n_inv] } else { Vec::new() },
+            resolution: if retrying { vec![None; n_inv] } else { Vec::new() },
+            retries_used: 0,
+            backoff_rng: seed.substream("retry-backoff").rng(),
         });
 
         let horizon =
@@ -372,10 +746,17 @@ impl Executor {
         }
 
         // Invocation deliveries: network transfer happens on the way in.
-        for (idx, deliver_at) in deliveries {
+        // In retry mode each first attempt also arms its attempt timeout.
+        for (idx, send_at, deliver_at) in deliveries {
             engine
                 .queue
                 .schedule_at(deliver_at, ExecEvent::Deliver(idx));
+            if retrying {
+                engine.queue.schedule_at(
+                    send_at + self.cfg.retry.attempt_timeout,
+                    ExecEvent::AttemptTimeout(idx),
+                );
+            }
         }
 
         engine.run_until(horizon);
@@ -386,7 +767,7 @@ impl Executor {
         // responses can reach the clients.
         let teardown = SimTime::ZERO + trace.duration() + SimDuration::from_secs(30);
         engine.system.platform.finalize(teardown.min(horizon));
-        engine.system.drain();
+        engine.system.drain_final();
 
         // Resolve records from responses.
         let engine_events = engine.events_processed();
@@ -397,39 +778,76 @@ impl Executor {
         // when a recorder wants it.
         let mut spans: Vec<Option<(SimTime, SimDuration, SimDuration, SimDuration)>> =
             if tracing { vec![None; n] } else { Vec::new() };
-        for (inv_idx, resp) in &sys.responses {
-            let inv = &sys.invocations[*inv_idx];
-            let receive = resp.completed_at + response_net;
-            let net_in = self
-                .cfg
-                .network
-                .transfer_time(sys.payload_per_invocation[*inv_idx]);
-            let delivered = inv.send_at + net_in;
-            for &m in &inv.members {
-                let rec = &mut records[m];
-                let e2e = receive.saturating_duration_since(rec.arrival);
-                rec.predict = resp.predict;
-                rec.queued = resp.queued;
-                rec.cold_start = resp.cold_start;
-                match resp.outcome {
-                    Outcome::Failure(reason) => {
-                        rec.outcome = Outcome::Failure(reason);
+        if retrying {
+            // Retry mode resolved invocations online, at client-receive
+            // time; apply each invocation's fixed fate to its members.
+            // Invocations with no resolution (still waiting at the horizon)
+            // keep the default client-timeout outcome.
+            for inv_idx in 0..sys.invocations.len() {
+                let Some(res) = sys.resolution[inv_idx] else {
+                    continue;
+                };
+                let inv = &sys.invocations[inv_idx];
+                for &m in &inv.members {
+                    let rec = &mut records[m];
+                    rec.predict = res.predict;
+                    rec.queued = res.queued;
+                    rec.cold_start = res.cold_start;
+                    match res.outcome {
+                        Outcome::Failure(reason) => {
+                            rec.outcome = Outcome::Failure(reason);
+                        }
+                        Outcome::Success => {
+                            let e2e = res.received_at.saturating_duration_since(rec.arrival);
+                            if e2e > self.cfg.timeout {
+                                rec.outcome = Outcome::Failure(FailureReason::ClientTimeout);
+                            } else {
+                                rec.outcome = Outcome::Success;
+                                rec.latency = Some(e2e);
+                            }
+                        }
                     }
-                    Outcome::Success if e2e > self.cfg.timeout => {
-                        rec.outcome = Outcome::Failure(FailureReason::ClientTimeout);
-                    }
-                    Outcome::Success => {
-                        rec.outcome = Outcome::Success;
-                        rec.latency = Some(e2e);
+                    if tracing {
+                        // The winning attempt's exec time is approximated by
+                        // its predict time (the retransmission history makes
+                        // the phase algebra of the single-shot path moot).
+                        spans[m] =
+                            Some((res.received_at, sys.net_in[inv_idx], res.predict, response_net));
                     }
                 }
-                if tracing {
-                    // Exec time is what remains of the platform's span after
-                    // its own queueing; exact for successes.
-                    let exec = resp
-                        .completed_at
-                        .saturating_duration_since(delivered + resp.queued);
-                    spans[m] = Some((receive, net_in, exec, response_net));
+            }
+        } else {
+            for (inv_idx, resp) in &sys.responses {
+                let inv = &sys.invocations[*inv_idx];
+                let receive = resp.completed_at + response_net;
+                let net_in = sys.net_in[*inv_idx];
+                let delivered = inv.send_at + net_in;
+                for &m in &inv.members {
+                    let rec = &mut records[m];
+                    let e2e = receive.saturating_duration_since(rec.arrival);
+                    rec.predict = resp.predict;
+                    rec.queued = resp.queued;
+                    rec.cold_start = resp.cold_start;
+                    match resp.outcome {
+                        Outcome::Failure(reason) => {
+                            rec.outcome = Outcome::Failure(reason);
+                        }
+                        Outcome::Success if e2e > self.cfg.timeout => {
+                            rec.outcome = Outcome::Failure(FailureReason::ClientTimeout);
+                        }
+                        Outcome::Success => {
+                            rec.outcome = Outcome::Success;
+                            rec.latency = Some(e2e);
+                        }
+                    }
+                    if tracing {
+                        // Exec time is what remains of the platform's span after
+                        // its own queueing; exact for successes.
+                        let exec = resp
+                            .completed_at
+                            .saturating_duration_since(delivered + resp.queued);
+                        spans[m] = Some((receive, net_in, exec, response_net));
+                    }
                 }
             }
         }
@@ -448,6 +866,11 @@ impl Executor {
                         Outcome::Failure(FailureReason::QueueFull) => SpanOutcome::QueueFull,
                         Outcome::Failure(FailureReason::ClientTimeout) => SpanOutcome::ClientTimeout,
                         Outcome::Failure(FailureReason::Rejected) => SpanOutcome::Rejected,
+                        Outcome::Failure(FailureReason::Throttled) => SpanOutcome::Throttled,
+                        Outcome::Failure(FailureReason::Crashed) => SpanOutcome::Crashed,
+                        Outcome::Failure(FailureReason::RetriesExhausted) => {
+                            SpanOutcome::RetriesExhausted
+                        }
                     };
                     r.record(&TraceEvent {
                         at,
@@ -483,6 +906,8 @@ impl Executor {
             records,
             platform: sys.platform.report(),
             engine_events,
+            client_faults: sys.client_faults.injected(),
+            retries: sys.retries_used,
         }
     }
 }

@@ -55,7 +55,7 @@ pub mod scenario;
 
 pub use analyzer::{analyze, analyze_with_bucket, run_metrics, Analysis, ColdStartStats, LatencyStats};
 pub use batching::{plan_invocations, BatchPolicy, Invocation};
-pub use executor::{Executor, ExecutorConfig, RequestRecord, RunResult};
+pub use executor::{Executor, ExecutorConfig, RequestRecord, RetryPolicy, RunResult};
 pub use experiment::ExperimentId;
 pub use explorer::{explore, explore_jobs, Candidate, Exploration, ExplorerGrid};
 pub use plan::{Deployment, PlanError};

@@ -8,6 +8,7 @@ use crate::analyzer::{analyze, Analysis};
 use crate::executor::{Executor, ExecutorConfig, RunResult};
 use crate::plan::{Deployment, PlanError};
 use serde::{Deserialize, Serialize};
+use slsb_platform::{FaultPlan, FaultPlanError};
 use slsb_sim::{Seed, SimDuration, SimTime};
 use slsb_workload::{
     DiurnalSpec, FlashCrowdSpec, MmppPreset, MmppSpec, PoissonProcess, WorkloadTrace,
@@ -147,6 +148,10 @@ pub struct Scenario {
     /// Client-fleet settings.
     #[serde(default = "ExecutorConfig::default")]
     pub executor: ExecutorConfig,
+    /// Fault-injection plan (an absent block injects nothing and is a
+    /// byte-identical no-op).
+    #[serde(default = "FaultPlan::none")]
+    pub faults: FaultPlan,
 }
 
 /// Why a scenario failed to load or run.
@@ -156,6 +161,8 @@ pub enum ScenarioError {
     Parse(serde_json::Error),
     /// The deployment violates a platform rule.
     Plan(PlanError),
+    /// The fault plan has an out-of-range knob.
+    Faults(FaultPlanError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -163,6 +170,7 @@ impl fmt::Display for ScenarioError {
         match self {
             ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
             ScenarioError::Plan(e) => write!(f, "invalid deployment: {e}"),
+            ScenarioError::Faults(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -195,8 +203,11 @@ impl Scenario {
     /// Fails when the deployment is invalid.
     pub fn run(&self) -> Result<(RunResult, Analysis), ScenarioError> {
         let seed = Seed(self.seed);
+        self.faults.validate().map_err(ScenarioError::Faults)?;
         let trace = self.workload.generate(seed.substream("scenario-workload"));
-        let run = Executor::new(self.executor).run(&self.deployment, &trace, seed)?;
+        let run = Executor::new(self.executor)
+            .with_faults(self.faults.clone())
+            .run(&self.deployment, &trace, seed)?;
         let analysis = analyze(&run);
         Ok((run, analysis))
     }
@@ -211,8 +222,11 @@ impl Scenario {
         rec: &mut dyn slsb_obs::Recorder,
     ) -> Result<(RunResult, Analysis), ScenarioError> {
         let seed = Seed(self.seed);
+        self.faults.validate().map_err(ScenarioError::Faults)?;
         let trace = self.workload.generate(seed.substream("scenario-workload"));
-        let run = Executor::new(self.executor).run_recorded(&self.deployment, &trace, seed, rec)?;
+        let run = Executor::new(self.executor)
+            .with_faults(self.faults.clone())
+            .run_recorded(&self.deployment, &trace, seed, rec)?;
         let analysis = analyze(&run);
         Ok((run, analysis))
     }
@@ -241,6 +255,7 @@ mod tests {
                 RuntimeKind::Ort14,
             ),
             executor: ExecutorConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 

@@ -3,14 +3,25 @@
 //! conserves counts, keeps latency causal, and stays deterministic.
 
 use proptest::prelude::*;
-use slsb_core::{analyze, BatchPolicy, Deployment, Executor, ExecutorConfig};
+use slsb_core::{analyze, Analysis, BatchPolicy, Deployment, Executor, ExecutorConfig, RetryPolicy};
 use slsb_model::{ModelKind, RuntimeKind};
-use slsb_platform::PlatformKind;
+use slsb_platform::{FaultPlan, PlatformKind};
 use slsb_sim::{Seed, SimDuration};
 use slsb_workload::{MmppSpec, WorkloadTrace};
 
 fn any_platform() -> impl Strategy<Value = PlatformKind> {
     prop::sample::select(PlatformKind::ALL.to_vec())
+}
+
+/// Sum of every terminal outcome counter — must always equal `total`.
+fn resolved(a: &Analysis) -> u64 {
+    a.succeeded
+        + a.failed_queue_full
+        + a.failed_timeout
+        + a.failed_rejected
+        + a.failed_throttled
+        + a.failed_crashed
+        + a.failed_retries
 }
 
 fn any_model() -> impl Strategy<Value = ModelKind> {
@@ -46,10 +57,7 @@ proptest! {
         let run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
         prop_assert_eq!(run.records.len(), trace.len());
         let a = analyze(&run);
-        prop_assert_eq!(
-            a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
-            a.total
-        );
+        prop_assert_eq!(resolved(&a), a.total);
         prop_assert!((0.0..=1.0).contains(&a.success_ratio));
         prop_assert!(a.cost.total().as_dollars() >= 0.0);
     }
@@ -151,5 +159,94 @@ proptest! {
         let a = exec.run(&dep, &trace, Seed(seed)).unwrap();
         let b = exec.run(&dep, &trace, Seed(seed)).unwrap();
         prop_assert_eq!(a.records, b.records);
+    }
+}
+
+/// Arbitrary retry policies plus a client-path fault mix, from a flat
+/// vector of unit uniforms (the vendored proptest has no tuple
+/// strategies).
+fn retry_setup(u: &[f64]) -> (RetryPolicy, FaultPlan) {
+    let policy = RetryPolicy {
+        max_attempts: 1 + (u[0] * 3.99) as u32,
+        attempt_timeout: SimDuration::from_secs_f64(0.5 + u[1] * 4.0),
+        base_backoff: SimDuration::from_secs_f64(0.05 + u[2]),
+        max_backoff: SimDuration::from_secs_f64(1.0 + u[3] * 7.0),
+        jitter: u[4],
+        budget: if u[5] < 0.3 { (u[5] * 400.0) as u64 } else { u64::MAX },
+    };
+    let mut plan = FaultPlan::none();
+    plan.packet_loss = u[6] * 0.3;
+    plan.client_jitter_ms = u[7] * 40.0;
+    plan.crash_mid_exec = u[8] * 0.2;
+    (policy, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Retry invariants for any policy × client-fault mix: every request
+    /// still resolves exactly once, re-sends never exceed the per-
+    /// invocation attempt cap or the fleet budget, and no success is
+    /// reported past the client deadline.
+    #[test]
+    fn retries_respect_attempt_and_deadline_bounds(
+        u in prop::collection::vec(0.0f64..1.0, 9..10),
+        seed in 0u64..300,
+    ) {
+        let (policy, plan) = retry_setup(&u);
+        let cfg = ExecutorConfig { retry: policy, ..ExecutorConfig::default() };
+        let trace = small_trace(20.0, 45, seed);
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        let run = Executor::new(cfg)
+            .with_faults(plan)
+            .run(&dep, &trace, Seed(seed))
+            .unwrap();
+        prop_assert_eq!(run.records.len(), trace.len());
+        let a = analyze(&run);
+        prop_assert_eq!(resolved(&a), a.total);
+        // Each invocation re-sends at most (max_attempts - 1) times, and
+        // the fleet never exceeds its retry budget.
+        let cap = u64::from(policy.max_attempts - 1) * trace.len() as u64;
+        prop_assert!(run.retries <= cap, "{} re-sends > cap {cap}", run.retries);
+        prop_assert!(run.retries <= policy.budget);
+        // Total client wall-time never exceeds the per-request deadline.
+        for r in run.successes() {
+            prop_assert!(r.latency.unwrap() <= cfg.timeout, "success past deadline");
+        }
+    }
+
+    /// Attaching a recorder never changes the simulation: the recorded
+    /// run's records and analysis are identical to the unrecorded run's,
+    /// for any retry policy and fault mix.
+    #[test]
+    fn recorded_run_is_byte_identical(
+        u in prop::collection::vec(0.0f64..1.0, 9..10),
+        seed in 0u64..200,
+    ) {
+        let (policy, plan) = retry_setup(&u);
+        let cfg = ExecutorConfig { retry: policy, ..ExecutorConfig::default() };
+        let trace = small_trace(15.0, 30, seed);
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Tf115,
+        );
+        let exec = Executor::new(cfg).with_faults(plan);
+        let plain = exec.run(&dep, &trace, Seed(seed)).unwrap();
+        let mut rec = slsb_obs::JsonlRecorder::new(Vec::new());
+        let recorded = exec.run_recorded(&dep, &trace, Seed(seed), &mut rec).unwrap();
+        prop_assert_eq!(&plain.records, &recorded.records);
+        prop_assert_eq!(plain.retries, recorded.retries);
+        prop_assert_eq!(plain.client_faults, recorded.client_faults);
+        prop_assert_eq!(plain.platform.faults, recorded.platform.faults);
+        let (pa, ra) = (analyze(&plain), analyze(&recorded));
+        prop_assert_eq!(
+            serde_json::to_string(&pa).unwrap(),
+            serde_json::to_string(&ra).unwrap()
+        );
     }
 }

@@ -12,7 +12,18 @@
 //! - **run-level events** emitted by the executor after the simulation
 //!   drains: one `RequestSpan` per logical client request with the full
 //!   phase breakdown, and a final `RunClosed` carrying the engine's
-//!   processed-event count.
+//!   processed-event count;
+//! - **fault events** (`Fault`): one per discrete injected fault from a
+//!   `FaultPlan` — boot/mid-execution crashes, storage stalls, throttle
+//!   and outage-window rejections, client-path packet drops — so the
+//!   explorer can attribute degradation to its injected cause.
+//!   (Continuous degradations — storage slowdown multipliers and network
+//!   jitter — shift durations rather than emitting events.)
+//!
+//! Fault-classified terminal outcomes surface in [`SpanOutcome`] as
+//! `Throttled` (admission refused by throttle or outage), `Crashed`
+//! (the serving attempt died mid-execution), and `RetriesExhausted`
+//! (the client retry budget ran out without a success).
 //!
 //! Platform-side events identify requests by *invocation* index (the
 //! platform never sees individual batched requests); `RequestSpan.invocation`
@@ -69,6 +80,12 @@ pub enum SpanOutcome {
     ClientTimeout,
     /// The platform rejected the request outright.
     Rejected,
+    /// Admission was refused by injected throttling or an outage window.
+    Throttled,
+    /// The serving attempt crashed mid-execution.
+    Crashed,
+    /// Every client retry attempt failed.
+    RetriesExhausted,
 }
 
 impl SpanOutcome {
@@ -85,6 +102,41 @@ impl fmt::Display for SpanOutcome {
             SpanOutcome::QueueFull => "queue-full",
             SpanOutcome::ClientTimeout => "timeout",
             SpanOutcome::Rejected => "rejected",
+            SpanOutcome::Throttled => "throttled",
+            SpanOutcome::Crashed => "crashed",
+            SpanOutcome::RetriesExhausted => "retries-exhausted",
+        })
+    }
+}
+
+/// The class of an injected fault, distinguishing the mechanisms a
+/// `FaultPlan` can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// An instance died during cold start and will be replaced.
+    BootCrash,
+    /// A handler execution crashed after dispatch.
+    ExecCrash,
+    /// A storage download stalled for an injected extra delay.
+    StorageStall,
+    /// Admission was refused by the injected token-bucket throttle.
+    Throttled,
+    /// Admission was refused inside a scheduled outage window.
+    Outage,
+    /// A client request was lost on the network path to the platform.
+    PacketLoss,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::BootCrash => "boot-crash",
+            FaultKind::ExecCrash => "exec-crash",
+            FaultKind::StorageStall => "storage-stall",
+            FaultKind::Throttled => "throttled",
+            FaultKind::Outage => "outage",
+            FaultKind::PacketLoss => "packet-loss",
         })
     }
 }
@@ -189,6 +241,14 @@ pub enum EventKind {
         /// Billed duration for this handler execution.
         billed: SimDuration,
     },
+    /// A discrete fault from the active `FaultPlan` fired.
+    Fault {
+        /// Emitting component, if the fault fired platform-side;
+        /// `None` for client-path faults (packet loss).
+        component: Option<Component>,
+        /// What kind of fault fired.
+        kind: FaultKind,
+    },
     /// Executor-level per-request phase breakdown, emitted once per
     /// logical client request after the run drains. For successful
     /// requests `batch + net_in + queued + exec + net_out` equals the
@@ -242,6 +302,7 @@ impl EventKind {
             EventKind::InstanceCrash { .. } => "instance_crash",
             EventKind::InstanceReclaim { .. } => "instance_reclaim",
             EventKind::BillingTick { .. } => "billing_tick",
+            EventKind::Fault { .. } => "fault",
             EventKind::RequestSpan { .. } => "request_span",
             EventKind::RunClosed { .. } => "run_closed",
         }
@@ -305,6 +366,20 @@ mod tests {
                     requests: 42,
                 },
             },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(3),
+                kind: EventKind::Fault {
+                    component: Some(Component::Serverless),
+                    kind: FaultKind::StorageStall,
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO + SimDuration::from_secs(4),
+                kind: EventKind::Fault {
+                    component: None,
+                    kind: FaultKind::PacketLoss,
+                },
+            },
         ];
         for ev in events {
             let json = serde_json::to_string(&ev).unwrap();
@@ -336,5 +411,27 @@ mod tests {
         };
         let json = serde_json::to_string(&kind).unwrap();
         assert!(json.contains(kind.name()), "{json}");
+    }
+
+    #[test]
+    fn fault_events_are_greppable_by_kind() {
+        let kind = EventKind::Fault {
+            component: Some(Component::ManagedMl),
+            kind: FaultKind::Throttled,
+        };
+        assert_eq!(kind.name(), "fault");
+        let json = serde_json::to_string(&kind).unwrap();
+        assert!(json.contains("\"event\":\"fault\""), "{json}");
+        assert!(json.contains("\"kind\":\"throttled\""), "{json}");
+        for fk in [
+            FaultKind::BootCrash,
+            FaultKind::ExecCrash,
+            FaultKind::StorageStall,
+            FaultKind::Throttled,
+            FaultKind::Outage,
+            FaultKind::PacketLoss,
+        ] {
+            assert!(!fk.to_string().is_empty());
+        }
     }
 }

@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod trace_view;
 
-pub use event::{Component, EventKind, SpanOutcome, SpawnCause, TraceEvent};
+pub use event::{Component, EventKind, FaultKind, SpanOutcome, SpawnCause, TraceEvent};
 pub use log::{log_enabled, log_level, set_log_level, LogLevel};
 pub use metrics::{LogLinearHistogram, MetricsRegistry};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};

@@ -280,6 +280,44 @@ pub fn waterfall(events: &[TraceEvent], limit: usize) -> String {
     out
 }
 
+/// Fault-attribution table: injected faults counted by kind and by the
+/// component they struck (`client` for client-path faults), with each
+/// kind's share of the total. Sorted by kind name, then component, so the
+/// rendering is deterministic.
+pub fn fault_attribution(events: &[TraceEvent]) -> String {
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for ev in events {
+        if let EventKind::Fault { component, kind } = ev.kind {
+            let who = component.map_or_else(|| "client".to_string(), |c| c.to_string());
+            *counts.entry((kind.to_string(), who)).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let mut out = String::new();
+    if total == 0 {
+        out.push_str("  (no injected faults)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:<12} {:>8} {:>7}",
+        "fault", "component", "count", "share"
+    );
+    for ((kind, who), n) in counts {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<12} {:>8} {:>6.1}%",
+            kind,
+            who,
+            n,
+            100.0 * n as f64 / total as f64,
+        );
+    }
+    let _ = writeln!(out, "  {:<14} {:<12} {total:>8}", "total", "");
+    out
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct InstanceRow {
     spawned: Option<SimTime>,
@@ -504,6 +542,29 @@ mod tests {
         assert!(t.contains("demand"), "{t}");
         assert!(t.contains("reclaim@600.000"), "{t}");
         assert!(t.contains("execs=1"), "{t}");
+    }
+
+    #[test]
+    fn fault_attribution_counts_by_kind_and_component() {
+        use crate::event::FaultKind;
+        let fault = |kind, component| TraceEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::Fault { component, kind },
+        };
+        let events = vec![
+            fault(FaultKind::Throttled, Some(Component::Serverless)),
+            fault(FaultKind::Throttled, Some(Component::Serverless)),
+            fault(FaultKind::PacketLoss, None),
+            fault(FaultKind::ExecCrash, Some(Component::Vm)),
+        ];
+        let t = fault_attribution(&events);
+        assert!(t.contains("throttled"), "{t}");
+        assert!(t.contains("serverless"), "{t}");
+        assert!(t.contains("client"), "{t}");
+        assert!(t.contains("50.0%"), "{t}");
+        assert!(t.contains("total"), "{t}");
+        let none = fault_attribution(&lifecycle_events());
+        assert!(none.contains("no injected faults"), "{none}");
     }
 
     #[test]

@@ -108,6 +108,9 @@ pub struct PlatformReport {
     pub busy_seconds: f64,
     /// Seconds of instance existence (provisioning and idle included).
     pub instance_seconds: f64,
+    /// Discrete faults the platform's [`crate::FaultInjector`] fired
+    /// (zero without an active [`crate::FaultPlan`]).
+    pub faults: u64,
 }
 
 impl PlatformReport {
@@ -150,6 +153,23 @@ impl Platform {
     /// Builds a hybrid (VM + serverless spillover) deployment.
     pub fn hybrid(cfg: HybridConfig, seed: Seed) -> Platform {
         Platform::Hybrid(Box::new(HybridPlatform::new(cfg, seed)))
+    }
+
+    /// Arms fault injection: installs `plan` on every simulator in this
+    /// platform, each drawing from its own substream of `seed`. Installing
+    /// an empty plan is a guaranteed no-op (no RNG draws, no behaviour
+    /// change), so callers may do this unconditionally.
+    pub fn set_faults(&mut self, plan: &crate::FaultPlan, seed: Seed) {
+        match self {
+            Platform::Serverless(p) => {
+                p.set_faults(plan.clone(), seed.substream("faults-serverless"))
+            }
+            Platform::ManagedMl(p) => {
+                p.set_faults(plan.clone(), seed.substream("faults-managedml"))
+            }
+            Platform::Vm(p) => p.set_faults(plan.clone(), seed.substream("faults-vm")),
+            Platform::Hybrid(p) => p.set_faults(plan, seed),
+        }
     }
 
     /// One-time startup (pre-warming, billing spans, scaler loops).
@@ -320,6 +340,12 @@ pub mod test_harness {
             Self::new(Platform::hybrid(cfg, seed))
         }
 
+        /// Installs a fault plan on the wrapped platform (call before the
+        /// first arrival).
+        pub fn set_faults(&mut self, plan: &crate::FaultPlan, seed: Seed) {
+            self.engine.system.platform.set_faults(plan, seed);
+        }
+
         /// Queues an arrival at `at_secs`.
         pub fn submit_at(&mut self, at_secs: f64, req: ServingRequest) {
             self.engine
@@ -426,12 +452,13 @@ mod tests {
         let mut buf = Vec::new();
         let mut rec = MemoryRecorder::new();
         let now = SimTime::from_secs_f64(2.5);
-        let mut sched = PlatformScheduler::with_recorder(now, &mut buf, Some(&mut rec));
-        sched.emit(|| EventKind::RequestArrival {
-            component: Component::Vm,
-            request: 7,
-        });
-        drop(sched);
+        {
+            let mut sched = PlatformScheduler::with_recorder(now, &mut buf, Some(&mut rec));
+            sched.emit(|| EventKind::RequestArrival {
+                component: Component::Vm,
+                request: 7,
+            });
+        }
         assert_eq!(rec.events().len(), 1);
         assert_eq!(rec.events()[0].at, now);
 

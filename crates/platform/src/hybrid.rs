@@ -9,6 +9,7 @@
 
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::CostBreakdown;
+use crate::faults::FaultPlan;
 use crate::request::{ServingRequest, ServingResponse};
 use crate::serverless::{ServerlessConfig, ServerlessPlatform};
 use crate::vmserver::{VmServer, VmServerConfig};
@@ -65,6 +66,15 @@ impl HybridPlatform {
     /// Requests diverted to the serverless pool so far.
     pub fn spilled(&self) -> u64 {
         self.spilled
+    }
+
+    /// Installs the same fault plan on both children, each with its own
+    /// RNG substream so their draws stay independent.
+    pub fn set_faults(&mut self, plan: &FaultPlan, seed: Seed) {
+        self.vm
+            .set_faults(plan.clone(), seed.substream("faults-hybrid-vm"));
+        self.serverless
+            .set_faults(plan.clone(), seed.substream("faults-hybrid-sls"));
     }
 
     /// Runs `f` against a child with a private scheduler, then re-tags the
@@ -154,6 +164,7 @@ impl HybridPlatform {
             invocations: sls.invocations,
             busy_seconds: vm.busy_seconds + sls.busy_seconds,
             instance_seconds: vm.instance_seconds + sls.instance_seconds,
+            faults: vm.faults + sls.faults,
         }
     }
 

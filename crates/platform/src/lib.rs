@@ -15,6 +15,8 @@
 //! - [`billing`] — price sheets and meters (Table 1's cost model);
 //! - [`hybrid`] — MArk-style VM + serverless-spillover composition (the
 //!   paper's related-work direction, built as an extension);
+//! - [`faults`] — seed-deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]): crashes, storage stalls, throttling, outages;
 //! - [`presets`] — the eight evaluated systems behind [`PlatformKind`];
 //! - [`api`] — the uniform [`Platform`] interface the executor drives.
 //!
@@ -48,6 +50,7 @@
 
 pub mod api;
 pub mod billing;
+pub mod faults;
 pub mod hybrid;
 pub mod managedml;
 pub mod network;
@@ -60,6 +63,7 @@ pub mod vmserver;
 
 pub use api::{Platform, PlatformEvent, PlatformReport, PlatformScheduler};
 pub use billing::{CostBreakdown, InstancePricing, Money, ServerlessPricing};
+pub use faults::{FaultInjector, FaultPlan, FaultPlanError, OutageWindow, ThrottleSpec};
 pub use hybrid::{HybridConfig, HybridPlatform, SpilloverPolicy};
 pub use managedml::{ManagedMlConfig, ManagedMlParams, ManagedMlPlatform};
 pub use network::NetworkProfile;

@@ -17,10 +17,11 @@
 
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
-use slsb_obs::{Component, EventKind, SpawnCause};
+use slsb_obs::{Component, EventKind, FaultKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -195,6 +196,7 @@ pub struct ManagedMlPlatform {
     busy_seconds: f64,
     horizon: Option<SimTime>,
     finalized: bool,
+    faults: FaultInjector,
 }
 
 impl ManagedMlPlatform {
@@ -218,12 +220,24 @@ impl ManagedMlPlatform {
             busy_seconds: 0.0,
             horizon: None,
             finalized: false,
+            faults: FaultInjector::disabled(),
         }
     }
 
     /// The endpoint configuration.
     pub fn config(&self) -> &ManagedMlConfig {
         &self.cfg
+    }
+
+    /// Installs a fault plan; `seed` should be a dedicated substream so the
+    /// injector's draws never perturb the platform's own RNG.
+    pub fn set_faults(&mut self, plan: FaultPlan, seed: Seed) {
+        self.faults = FaultInjector::new(plan, seed);
+    }
+
+    /// Discrete faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
     }
 
     /// Starts the minimum fleet and the scaler loop. `horizon` bounds the
@@ -266,6 +280,25 @@ impl ManagedMlPlatform {
             request: req.id.0,
         });
         self.window_arrivals += 1;
+        if let Some(kind) = self.faults.admit(sched.now()) {
+            sched.emit(|| EventKind::Fault {
+                component: Some(COMPONENT),
+                kind,
+            });
+            sched.emit(|| EventKind::RequestRejected {
+                component: COMPONENT,
+                request: req.id.0,
+            });
+            self.responses.push(ServingResponse {
+                id: req.id,
+                outcome: Outcome::Failure(FailureReason::Throttled),
+                completed_at: sched.now(),
+                cold_start: None,
+                predict: SimDuration::ZERO,
+                queued: SimDuration::ZERO,
+            });
+            return;
+        }
         let capacity = self.cfg.params.queue_capacity_per_instance * self.ready.len().max(1);
         if self.queue.len() >= capacity {
             self.rejected += 1;
@@ -330,6 +363,17 @@ impl ManagedMlPlatform {
             self.busy_seconds += service.as_secs_f64();
             self.ready.get_mut(&id).expect("instance exists").busy = true;
             let done_at = sched.now() + service;
+            // A mid-execution crash on a managed endpoint fails the request
+            // but not the instance: the provider's health check restarts the
+            // serving process transparently, so the worker is busy for the
+            // full service time and then returns to the pool.
+            let crashed = self.faults.crash_mid_exec();
+            if crashed {
+                sched.emit(|| EventKind::Fault {
+                    component: Some(COMPONENT),
+                    kind: FaultKind::ExecCrash,
+                });
+            }
             sched.emit(|| EventKind::ExecStart {
                 component: COMPONENT,
                 request: req.id.0,
@@ -339,7 +383,11 @@ impl ManagedMlPlatform {
             });
             self.responses.push(ServingResponse {
                 id: req.id,
-                outcome: Outcome::Success,
+                outcome: if crashed {
+                    Outcome::Failure(FailureReason::Crashed)
+                } else {
+                    Outcome::Success
+                },
                 completed_at: done_at,
                 cold_start: None,
                 predict,
@@ -378,7 +426,17 @@ impl ManagedMlPlatform {
                 // Billing starts when provisioning starts — the effect the
                 // paper blames for ManagedML's cost.
                 self.meter.open(id, sched.now());
-                let delay = self.rng.lognormal(p.provision_delay, p.jitter_sigma);
+                let base = self.rng.lognormal(p.provision_delay, p.jitter_sigma);
+                // Provisioning pulls the model image from object storage, so
+                // storage degradation stretches the scale-out path.
+                let (extra, stalled) = self.faults.storage_penalty(base);
+                if stalled {
+                    sched.emit(|| EventKind::Fault {
+                        component: Some(COMPONENT),
+                        kind: FaultKind::StorageStall,
+                    });
+                }
+                let delay = base + extra;
                 self.provisioning.insert(id, sched.now() + delay);
                 sched.emit(|| EventKind::InstanceSpawn {
                     component: COMPONENT,
@@ -440,6 +498,7 @@ impl ManagedMlPlatform {
             // Instance-seconds are what the meter bills (provisioning
             // included — the paper's cost complaint in one number).
             instance_seconds: self.meter.billed_seconds(),
+            faults: self.faults.injected(),
         }
     }
 

@@ -41,6 +41,13 @@ pub enum FailureReason {
     /// The platform refused the request for a policy reason (e.g. payload
     /// too large).
     Rejected,
+    /// Admission was refused by injected throttling (429-style token
+    /// bucket) or a scheduled outage window.
+    Throttled,
+    /// The serving attempt crashed mid-execution (injected fault).
+    Crashed,
+    /// The client retried up to its policy limit and every attempt failed.
+    RetriesExhausted,
 }
 
 impl fmt::Display for FailureReason {
@@ -49,6 +56,9 @@ impl fmt::Display for FailureReason {
             FailureReason::QueueFull => "queue full",
             FailureReason::ClientTimeout => "client timeout",
             FailureReason::Rejected => "rejected",
+            FailureReason::Throttled => "throttled",
+            FailureReason::Crashed => "crashed",
+            FailureReason::RetriesExhausted => "retries exhausted",
         };
         f.write_str(s)
     }

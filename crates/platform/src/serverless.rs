@@ -24,11 +24,14 @@
 
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, ServerlessMeter, ServerlessPricing};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::provider::CloudProvider;
-use crate::request::{ColdStartBreakdown, Outcome, ServingRequest, ServingResponse};
+use crate::request::{
+    ColdStartBreakdown, FailureReason, Outcome, ServingRequest, ServingResponse,
+};
 use crate::storage::StorageProfile;
 use slsb_model::{first_predict_time, predict_time, CpuAllocation, ModelProfile, RuntimeProfile};
-use slsb_obs::{Component, EventKind, SpawnCause};
+use slsb_obs::{Component, EventKind, FaultKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -256,6 +259,9 @@ struct Instance {
     /// Set when the model is loaded into the runtime (after the first
     /// handler, or eagerly for pre-warmed instances).
     warm: bool,
+    /// Set when an injected mid-execution crash killed the running
+    /// handler: the instance dies when the handler would have completed.
+    poisoned: bool,
     last_used: SimTime,
 }
 
@@ -263,6 +269,7 @@ struct Instance {
 pub struct ServerlessPlatform {
     cfg: ServerlessConfig,
     rng: SimRng,
+    faults: FaultInjector,
     instances: BTreeMap<u64, Instance>,
     /// Idle instance ids, most-recently-used last (we pop from the back, so
     /// the pool shrinks naturally and keep-alive reclaims the cold tail).
@@ -293,6 +300,7 @@ impl ServerlessPlatform {
         let meter = ServerlessMeter::new(cfg.params.pricing, cfg.memory_mb / 1024.0);
         ServerlessPlatform {
             rng: seed.substream("serverless").rng(),
+            faults: FaultInjector::disabled(),
             cfg,
             instances: BTreeMap::new(),
             idle: Vec::new(),
@@ -315,6 +323,17 @@ impl ServerlessPlatform {
         &self.cfg
     }
 
+    /// Installs a fault plan, replacing any previous one. An empty plan
+    /// never draws from `seed` and changes nothing.
+    pub fn set_faults(&mut self, plan: FaultPlan, seed: Seed) {
+        self.faults = FaultInjector::new(plan, seed);
+    }
+
+    /// Discrete faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
+    }
+
     /// Called once at the beginning of the run; pre-warms provisioned
     /// concurrency.
     pub fn start(&mut self, sched: &mut PlatformScheduler<'_>) {
@@ -331,6 +350,7 @@ impl ServerlessPlatform {
                     provisioned: true,
                     demanded: false,
                     warm: true,
+                    poisoned: false,
                     last_used: sched.now(),
                 },
             );
@@ -374,6 +394,27 @@ impl ServerlessPlatform {
             component: COMPONENT,
             request: req.id.0,
         });
+        if let Some(kind) = self.faults.admit(sched.now()) {
+            // Injected throttle / outage: refused at the front door, like
+            // a 429 before any environment is involved.
+            sched.emit(|| EventKind::Fault {
+                component: Some(COMPONENT),
+                kind,
+            });
+            sched.emit(|| EventKind::RequestRejected {
+                component: COMPONENT,
+                request: req.id.0,
+            });
+            self.responses.push(ServingResponse {
+                id: req.id,
+                outcome: Outcome::Failure(FailureReason::Throttled),
+                completed_at: sched.now(),
+                cold_start: None,
+                predict: SimDuration::ZERO,
+                queued: SimDuration::ZERO,
+            });
+            return;
+        }
         if let Some(id) = self.pick_idle() {
             self.execute_warm(sched, id, req, SimDuration::ZERO);
         } else {
@@ -437,6 +478,7 @@ impl ServerlessPlatform {
             invocations: self.meter.invocations(),
             busy_seconds: self.busy_seconds,
             instance_seconds,
+            faults: self.faults.injected(),
         }
     }
 
@@ -478,13 +520,28 @@ impl ServerlessPlatform {
         let predict = self.warm_predict(req.inferences);
         let handler = self.cfg.params.handler_overhead + predict;
         let provisioned = self.instances[&id].provisioned;
+        // An injected mid-execution crash kills the handler after its
+        // would-be service time: the work (and billing) happens, the
+        // response never leaves, and the environment dies with it.
+        let crashed = self.faults.crash_mid_exec();
         self.meter.record_invocation(handler, provisioned);
         self.busy_seconds += handler.as_secs_f64();
         let inst = self.instances.get_mut(&id).expect("warm instance exists");
         inst.state = InstanceState::Busy;
+        inst.poisoned = crashed;
+        if crashed {
+            sched.emit(|| EventKind::Fault {
+                component: Some(COMPONENT),
+                kind: FaultKind::ExecCrash,
+            });
+        }
         self.responses.push(ServingResponse {
             id: req.id,
-            outcome: Outcome::Success,
+            outcome: if crashed {
+                Outcome::Failure(FailureReason::Crashed)
+            } else {
+                Outcome::Success
+            },
             completed_at: sched.now() + handler,
             cold_start: None,
             predict,
@@ -535,7 +592,15 @@ impl ServerlessPlatform {
         );
         let download = {
             let mb = self.cfg.download_mb();
-            self.jitter(p.storage.download_time(mb))
+            let base = self.jitter(p.storage.download_time(mb));
+            let (extra, stalled) = self.faults.storage_penalty(base);
+            if stalled {
+                sched.emit(|| EventKind::Fault {
+                    component: Some(COMPONENT),
+                    kind: FaultKind::StorageStall,
+                });
+            }
+            base + extra
         };
         let load = self.jitter(
             self.cfg
@@ -557,6 +622,7 @@ impl ServerlessPlatform {
                 provisioned: false,
                 demanded,
                 warm: false,
+                poisoned: false,
                 last_used: sched.now(),
             },
         );
@@ -608,12 +674,20 @@ impl ServerlessPlatform {
             self.starting_demanded -= 1;
         }
         let p = self.cfg.params.clone();
-        if self.rng.chance(p.crash_on_start_chance) {
+        let param_crash = self.rng.chance(p.crash_on_start_chance);
+        let fault_crash = !param_crash && self.faults.crash_on_boot();
+        if param_crash || fault_crash {
             // The sandbox died during initialization; the platform replaces
             // it. Nothing is billed (the handler never ran) and any pending
             // invocation keeps waiting for the replacement.
             self.instances.remove(&id);
             self.gauge.record_delta(sched.now(), -1);
+            if fault_crash {
+                sched.emit(|| EventKind::Fault {
+                    component: Some(COMPONENT),
+                    kind: FaultKind::BootCrash,
+                });
+            }
             sched.emit(|| EventKind::InstanceCrash {
                 component: COMPONENT,
                 instance: id,
@@ -638,13 +712,25 @@ impl ServerlessPlatform {
                 // request waited for this environment since its arrival.
                 let predict = self.first_predict(req.inferences);
                 let handler = p.handler_overhead + breakdown.download + breakdown.load + predict;
+                let crashed = self.faults.crash_mid_exec();
                 self.meter.record_invocation(handler, false);
                 self.busy_seconds += handler.as_secs_f64();
                 let inst = self.instances.get_mut(&id).expect("instance exists");
                 inst.warm = true;
+                inst.poisoned = crashed;
+                if crashed {
+                    sched.emit(|| EventKind::Fault {
+                        component: Some(COMPONENT),
+                        kind: FaultKind::ExecCrash,
+                    });
+                }
                 self.responses.push(ServingResponse {
                     id: req.id,
-                    outcome: Outcome::Success,
+                    outcome: if crashed {
+                        Outcome::Failure(FailureReason::Crashed)
+                    } else {
+                        Outcome::Success
+                    },
                     completed_at: sched.now() + handler,
                     cold_start: Some(breakdown),
                     predict,
@@ -698,6 +784,20 @@ impl ServerlessPlatform {
         let now = sched.now();
         let inst = self.instances.get_mut(&id).expect("busy instance exists");
         debug_assert!(matches!(inst.state, InstanceState::Busy));
+        if inst.poisoned {
+            // The handler crashed mid-execution: the environment is gone.
+            // If demand is still waiting, replace it like a boot crash.
+            self.instances.remove(&id);
+            self.gauge.record_delta(now, -1);
+            sched.emit(|| EventKind::InstanceCrash {
+                component: COMPONENT,
+                instance: id,
+            });
+            if !self.pending.is_empty() {
+                self.spawn(sched, true);
+            }
+            return;
+        }
         inst.state = InstanceState::Idle;
         inst.last_used = now;
         // A freed environment immediately takes the oldest pending

@@ -10,10 +10,11 @@
 
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
-use slsb_obs::{Component, EventKind, SpawnCause};
+use slsb_obs::{Component, EventKind, FaultKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
 
@@ -135,6 +136,7 @@ pub struct VmServer {
     dropped_stale: u64,
     busy_seconds: f64,
     finalized: bool,
+    faults: FaultInjector,
 }
 
 impl VmServer {
@@ -156,12 +158,24 @@ impl VmServer {
             dropped_stale: 0,
             busy_seconds: 0.0,
             finalized: false,
+            faults: FaultInjector::disabled(),
         }
     }
 
     /// The server configuration.
     pub fn config(&self) -> &VmServerConfig {
         &self.cfg
+    }
+
+    /// Installs a fault plan; `seed` should be a dedicated substream so the
+    /// injector's draws never perturb the server's own RNG.
+    pub fn set_faults(&mut self, plan: FaultPlan, seed: Seed) {
+        self.faults = FaultInjector::new(plan, seed);
+    }
+
+    /// Discrete faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
     }
 
     /// Starts billing the rented instance.
@@ -185,6 +199,25 @@ impl VmServer {
             component: COMPONENT,
             request: req.id.0,
         });
+        if let Some(kind) = self.faults.admit(sched.now()) {
+            sched.emit(|| EventKind::Fault {
+                component: Some(COMPONENT),
+                kind,
+            });
+            sched.emit(|| EventKind::RequestRejected {
+                component: COMPONENT,
+                request: req.id.0,
+            });
+            self.responses.push(ServingResponse {
+                id: req.id,
+                outcome: Outcome::Failure(FailureReason::Throttled),
+                completed_at: sched.now(),
+                cold_start: None,
+                predict: SimDuration::ZERO,
+                queued: SimDuration::ZERO,
+            });
+            return;
+        }
         if self.queue.len() >= self.cfg.queue_capacity {
             self.rejected += 1;
             sched.emit(|| EventKind::RequestRejected {
@@ -242,9 +275,23 @@ impl VmServer {
             let service = self.cfg.request_overhead + predict;
             self.busy_seconds += service.as_secs_f64();
             self.busy[worker] = true;
+            // A mid-execution crash kills the serving process for this
+            // request; systemd-style supervision restarts it within the same
+            // service window, so the worker stays busy and then recovers.
+            let crashed = self.faults.crash_mid_exec();
+            if crashed {
+                sched.emit(|| EventKind::Fault {
+                    component: Some(COMPONENT),
+                    kind: FaultKind::ExecCrash,
+                });
+            }
             self.responses.push(ServingResponse {
                 id: req.id,
-                outcome: Outcome::Success,
+                outcome: if crashed {
+                    Outcome::Failure(FailureReason::Crashed)
+                } else {
+                    Outcome::Success
+                },
                 completed_at: sched.now() + service,
                 cold_start: None,
                 predict,
@@ -286,6 +333,7 @@ impl VmServer {
             invocations: 0,
             busy_seconds: self.busy_seconds,
             instance_seconds: self.meter.billed_seconds() * f64::from(self.cfg.workers),
+            faults: self.faults.injected(),
         }
     }
 

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::api::test_harness::PlatformHarness;
 use slsb_platform::{
-    CloudProvider, HybridConfig, ManagedMlConfig, Outcome, RequestId, ServerlessConfig,
-    ServingRequest, SpilloverPolicy, VmServerConfig,
+    CloudProvider, FaultPlan, HybridConfig, ManagedMlConfig, Outcome, OutageWindow, RequestId,
+    ServerlessConfig, ServingRequest, SpilloverPolicy, ThrottleSpec, VmServerConfig,
 };
 use slsb_sim::{Seed, SimTime};
 
@@ -301,6 +301,94 @@ proptest! {
         prop_assert!(report.cost.total().as_dollars() >= 400.0 / 3600.0 * 0.752 * 0.99);
         prop_assert!(report.busy_seconds >= 0.0);
         prop_assert!(report.instance_seconds >= report.busy_seconds);
+    }
+}
+
+/// Arbitrary — but always valid — fault plans spanning every knob.
+fn fault_plans() -> impl Strategy<Value = FaultPlan> {
+    // The vendored proptest has no tuple strategies, so draw a flat
+    // vector of unit uniforms and scale each into its knob's range.
+    prop::collection::vec(0.0f64..1.0, 12..13).prop_map(|u| FaultPlan {
+        crash_on_boot: u[0] * 0.5,
+        crash_mid_exec: u[1] * 0.3,
+        storage_slowdown: 1.0 + u[2] * 4.0,
+        storage_stall_chance: u[3],
+        storage_stall_s: u[4] * 3.0,
+        client_jitter_ms: u[5] * 50.0,
+        packet_loss: u[6] * 0.3,
+        throttle: (u[7] < 0.5).then_some(ThrottleSpec {
+            rate_per_sec: 1.0 + u[8] * 49.0,
+            burst: 1.0 + u[9] * 19.0,
+        }),
+        outages: if u[10] < 0.5 {
+            vec![OutageWindow {
+                start_s: u[11] * 100.0,
+                duration_s: 1.0 + u[11] * 29.0,
+            }]
+        } else {
+            Vec::new()
+        },
+    })
+}
+
+fn serverless_faulted_run(
+    times: &[f64],
+    plan: &FaultPlan,
+    seed: u64,
+) -> (Vec<slsb_platform::ServingResponse>, slsb_platform::PlatformReport) {
+    let cfg = ServerlessConfig::new(
+        CloudProvider::Aws,
+        ModelKind::MobileNet.profile(),
+        RuntimeKind::Tf115.profile(),
+    );
+    let mut h = PlatformHarness::serverless(cfg, Seed(seed));
+    h.set_faults(plan, Seed(seed).substream("prop-faults"));
+    for (i, &t) in times.iter().enumerate() {
+        h.submit_at(t, request(i as u64, t));
+    }
+    let rs = h.run();
+    let report = h.finalize_report();
+    (rs, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid fault plan: the serverless platform still resolves every
+    /// request exactly once (crashes respawn, throttles reject — nothing
+    /// vanishes), cost stays non-negative, and the strategy only emits
+    /// plans `FaultPlan::validate` accepts.
+    #[test]
+    fn serverless_any_fault_plan_conserves(
+        times in arrivals(),
+        plan in fault_plans(),
+        seed in 0u64..200,
+    ) {
+        prop_assert!(plan.validate().is_ok());
+        let (rs, report) = serverless_faulted_run(&times, &plan, seed);
+        prop_assert_eq!(rs.len(), times.len(), "every request resolves");
+        let mut ids: Vec<u64> = rs.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len() as u64).collect::<Vec<_>>());
+        prop_assert!(report.cost.total().as_dollars() >= 0.0);
+        if plan.is_empty() {
+            prop_assert_eq!(report.faults, 0, "empty plans inject nothing");
+        }
+    }
+
+    /// Fault injection is seed-deterministic: the same plan and seed give
+    /// identical responses and identical fault counts on every run.
+    #[test]
+    fn fault_injection_is_deterministic(
+        times in arrivals(),
+        plan in fault_plans(),
+        seed in 0u64..200,
+    ) {
+        let (rs_a, rep_a) = serverless_faulted_run(&times, &plan, seed);
+        let (rs_b, rep_b) = serverless_faulted_run(&times, &plan, seed);
+        prop_assert_eq!(rs_a, rs_b, "responses must replay bit-identically");
+        prop_assert_eq!(rep_a.faults, rep_b.faults);
+        prop_assert_eq!(rep_a.cost.total(), rep_b.cost.total());
     }
 }
 

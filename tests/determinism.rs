@@ -3,11 +3,12 @@
 //! bit-for-bit identical across runs; different seeds differ.
 
 use slsbench::core::{
-    analyze, explore_jobs, replicate_jobs, Deployment, Executor, ExplorerGrid, Jobs, WorkloadSpec,
+    analyze, explore_jobs, replicate_jobs, Deployment, Executor, ExecutorConfig, ExplorerGrid,
+    Jobs, RetryPolicy, WorkloadSpec,
 };
 use slsbench::model::{ModelKind, RuntimeKind};
 use slsbench::obs::{trace_view, JsonlRecorder, MemoryRecorder, SpanOutcome};
-use slsbench::platform::PlatformKind;
+use slsbench::platform::{FaultPlan, PlatformKind};
 use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
 
@@ -188,6 +189,75 @@ fn recorded_traces_are_byte_identical() {
     let b = dump(seed);
     assert!(!a.is_empty());
     assert_eq!(a, b, "trace output must be deterministic");
+}
+
+#[test]
+fn empty_fault_plan_and_disabled_retry_are_a_byte_identical_noop() {
+    // The fault/retry layer's backward-compatibility pin: an executor that
+    // explicitly installs an empty `FaultPlan` and the disabled
+    // `RetryPolicy` must not move a single byte of either the recorded
+    // JSONL trace or the analysis, relative to a plain `Executor::default()`.
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+    ] {
+        let seed = Seed(77);
+        let tr = trace(seed);
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let dump = |exec: &Executor| -> (String, Vec<u8>) {
+            let mut buf = Vec::new();
+            let mut rec = JsonlRecorder::new(&mut buf);
+            let run = exec.run_recorded(&dep, &tr, seed, &mut rec).unwrap();
+            rec.finish().unwrap();
+            (serde_json_digest(&analyze(&run)), buf)
+        };
+        let baseline = dump(&Executor::default());
+        let noop_cfg = ExecutorConfig {
+            retry: RetryPolicy::disabled(),
+            ..ExecutorConfig::default()
+        };
+        let noop = dump(&Executor::new(noop_cfg).with_faults(FaultPlan::none()));
+        assert_eq!(
+            baseline.0, noop.0,
+            "{platform:?}: analysis must be byte-identical"
+        );
+        assert_eq!(
+            baseline.1, noop.1,
+            "{platform:?}: recorded trace must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn faulted_replication_is_identical_across_worker_counts() {
+    // The --jobs contract extends to fault injection and retries: the
+    // merged replication summary must be byte-identical for any worker
+    // count when a fault plan and retry policy are active.
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Ort14,
+    );
+    let workload = WorkloadSpec::Preset {
+        which: MmppPreset::W40,
+        scale: 0.05,
+    };
+    let mut plan = FaultPlan::none();
+    plan.crash_mid_exec = 0.1;
+    plan.packet_loss = 0.1;
+    let cfg = ExecutorConfig {
+        retry: RetryPolicy::standard(),
+        ..ExecutorConfig::default()
+    };
+    let exec = Executor::new(cfg).with_faults(plan);
+    let seq = replicate_jobs(&exec, &dep, workload, 400, 6, Jobs::new(1)).unwrap();
+    let par = replicate_jobs(&exec, &dep, workload, 400, 6, Jobs::new(8)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "faulted replicate --jobs 8 must be byte-identical to --jobs 1"
+    );
 }
 
 #[test]

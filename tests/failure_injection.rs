@@ -1,11 +1,16 @@
 //! Robustness under injected faults: degraded storage, crashing instances,
 //! and pathological configurations must degrade results, never break the
 //! accounting invariants (every request resolved, conserved counts,
-//! non-negative cost).
+//! non-negative cost). The fault matrix at the bottom crosses every
+//! platform family with every `FaultPlan` regime and checks the same
+//! invariants in each cell.
 
 use slsbench::core::{analyze, Deployment, Executor};
 use slsbench::model::{ModelKind, RuntimeKind};
-use slsbench::platform::{CloudProvider, Platform, PlatformKind, ServerlessConfig, StorageProfile};
+use slsbench::platform::{
+    CloudProvider, FaultPlan, HybridConfig, ManagedMlConfig, OutageWindow, Platform, PlatformKind,
+    ServerlessConfig, SpilloverPolicy, StorageProfile, ThrottleSpec, VmServerConfig,
+};
 use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppSpec, WorkloadTrace};
 
@@ -43,7 +48,13 @@ fn serverless_with(mutate: impl FnOnce(&mut ServerlessConfig)) -> slsbench::core
 
 fn assert_invariants(a: &slsbench::core::Analysis) {
     assert_eq!(
-        a.succeeded + a.failed_queue_full + a.failed_timeout + a.failed_rejected,
+        a.succeeded
+            + a.failed_queue_full
+            + a.failed_timeout
+            + a.failed_rejected
+            + a.failed_throttled
+            + a.failed_crashed
+            + a.failed_retries,
         a.total,
         "request conservation"
     );
@@ -116,6 +127,171 @@ fn zero_bandwidth_network_is_rejected_loudly() {
     };
     let result = std::panic::catch_unwind(|| bad.transfer_time(1000));
     assert!(result.is_err(), "zero bandwidth must panic");
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix: platform families × FaultPlan regimes.
+// ---------------------------------------------------------------------------
+
+const FAMILIES: [&str; 4] = ["serverless", "managedml", "vm", "hybrid"];
+const REGIMES: [&str; 4] = ["crash", "storage", "throttle", "outage"];
+
+fn family_platform(family: &str) -> (Deployment, Platform) {
+    let model = ModelKind::MobileNet;
+    let runtime = RuntimeKind::Tf115;
+    match family {
+        "serverless" => (
+            Deployment::new(PlatformKind::AwsServerless, model, runtime),
+            Platform::serverless(
+                ServerlessConfig::new(CloudProvider::Aws, model.profile(), runtime.profile()),
+                SEED,
+            ),
+        ),
+        "managedml" => (
+            Deployment::new(PlatformKind::AwsManagedMl, model, runtime),
+            Platform::managedml(
+                ManagedMlConfig::new(CloudProvider::Aws, model.profile(), runtime.profile()),
+                SEED,
+            ),
+        ),
+        "vm" => (
+            Deployment::new(PlatformKind::AwsCpu, model, runtime),
+            Platform::vm(
+                VmServerConfig::cpu(CloudProvider::Aws, model.profile(), runtime.profile()),
+                SEED,
+            ),
+        ),
+        "hybrid" => (
+            Deployment::new(PlatformKind::AwsCpu, model, runtime),
+            Platform::hybrid(
+                HybridConfig {
+                    vm: VmServerConfig::cpu(CloudProvider::Aws, model.profile(), runtime.profile()),
+                    serverless: ServerlessConfig::new(
+                        CloudProvider::Aws,
+                        model.profile(),
+                        RuntimeKind::Ort14.profile(),
+                    ),
+                    policy: SpilloverPolicy::QueueDepth(2),
+                },
+                SEED,
+            ),
+        ),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+fn fault_regime(regime: &str) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    match regime {
+        "crash" => {
+            plan.crash_on_boot = 0.2;
+            plan.crash_mid_exec = 0.1;
+        }
+        "storage" => {
+            plan.storage_slowdown = 3.0;
+            plan.storage_stall_chance = 0.5;
+            plan.storage_stall_s = 2.0;
+        }
+        "throttle" => {
+            plan.throttle = Some(ThrottleSpec {
+                rate_per_sec: 15.0,
+                burst: 5.0,
+            });
+        }
+        "outage" => {
+            plan.outages = vec![OutageWindow {
+                start_s: 60.0,
+                duration_s: 30.0,
+            }];
+        }
+        other => unreachable!("unknown regime {other}"),
+    }
+    plan
+}
+
+#[test]
+fn fault_matrix_preserves_accounting_in_every_cell() {
+    let tr = trace();
+    for family in FAMILIES {
+        for regime in REGIMES {
+            let (dep, platform) = family_platform(family);
+            let plan = fault_regime(regime);
+            plan.validate().unwrap_or_else(|e| panic!("{regime}: {e}"));
+            let run = Executor::default()
+                .with_faults(plan)
+                .run_built(&dep, platform, &tr, SEED);
+            let a = analyze(&run);
+            let cell = format!("{family} x {regime}");
+            // Every request resolved exactly once, counts conserved,
+            // cost non-negative — in every cell.
+            assert_eq!(a.total as usize, tr.len(), "{cell}: every request resolved");
+            assert_invariants(&a);
+            assert_eq!(a.faults, run.platform.faults, "{cell}: fault accounting");
+            match regime {
+                "crash" => {
+                    assert!(a.faults > 0, "{cell}: crashes must fire");
+                    assert!(a.failed_crashed > 0, "{cell}: mid-exec crashes fail requests");
+                }
+                // Only platforms with a storage download path can stall;
+                // the VM family keeps its model resident.
+                "storage" if family == "serverless" => {
+                    assert!(a.faults > 0, "{cell}: storage stalls must fire");
+                }
+                "throttle" | "outage" => {
+                    assert!(a.faults > 0, "{cell}: admission faults must fire");
+                    assert!(a.failed_throttled > 0, "{cell}: rejections surface as throttled");
+                    assert!(a.success_ratio < 1.0, "{cell}: throttling costs successes");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn retries_recover_client_path_losses() {
+    // 20% of requests are lost on the wire. Without retries they all time
+    // out; with three attempts most are recovered, at extra latency.
+    let mut plan = FaultPlan::none();
+    plan.packet_loss = 0.2;
+    let tr = trace();
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let build = || {
+        Platform::serverless(
+            ServerlessConfig::new(
+                CloudProvider::Aws,
+                ModelKind::MobileNet.profile(),
+                RuntimeKind::Tf115.profile(),
+            ),
+            SEED,
+        )
+    };
+    let no_retry = Executor::default()
+        .with_faults(plan.clone())
+        .run_built(&dep, build(), &tr, SEED);
+    let cfg = slsbench::core::ExecutorConfig {
+        retry: slsbench::core::RetryPolicy::standard(),
+        ..Default::default()
+    };
+    let with_retry = Executor::new(cfg)
+        .with_faults(plan)
+        .run_built(&dep, build(), &tr, SEED);
+    let a0 = analyze(&no_retry);
+    let a1 = analyze(&with_retry);
+    assert_invariants(&a0);
+    assert_invariants(&a1);
+    assert!(a0.client_faults > 0, "losses must fire");
+    assert!(with_retry.retries > 0, "retries must fire");
+    assert!(
+        a1.success_ratio > a0.success_ratio,
+        "retries must recover lost requests: {} vs {}",
+        a1.success_ratio,
+        a0.success_ratio
+    );
 }
 
 #[test]

@@ -4,10 +4,10 @@
 //! the paper presets to keep the suite fast; the full-scale numbers are in
 //! EXPERIMENTS.md.
 
-use slsbench::core::{analyze, Analysis, Deployment, Executor};
+use slsbench::core::{analyze, Analysis, Deployment, Executor, ExecutorConfig, RetryPolicy};
 use slsbench::model::{ModelKind, RuntimeKind};
-use slsbench::platform::PlatformKind;
-use slsbench::sim::Seed;
+use slsbench::platform::{FaultPlan, PlatformKind};
+use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
 
 const SEED: Seed = Seed(152);
@@ -412,5 +412,67 @@ fn serverless_cost_monotone_in_model_and_workload() {
     assert!(
         by_load[0] < by_load[1] && by_load[1] < by_load[2],
         "{by_load:?}"
+    );
+}
+
+/// Availability under faults (Section 4.3's reliability discussion,
+/// extended): on a W80-class burst against a flaky platform — mid-
+/// execution crashes plus client-path packet loss — enabling client
+/// retries must raise the success ratio, and that availability is bought
+/// with tail latency: recovered requests arrive late, so the p99 of the
+/// retried run must not beat the fault-free-path-only p99 of the
+/// no-retry run.
+#[test]
+fn retries_trade_tail_latency_for_availability_under_faults() {
+    let trace = MmppSpec {
+        name: "w80-burst",
+        rate_high: 80.0,
+        rate_low: 20.0,
+        mean_high_dwell: SimDuration::from_secs(30),
+        mean_low_dwell: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(180),
+    }
+    .generate(SEED);
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let mut plan = FaultPlan::none();
+    plan.crash_mid_exec = 0.1;
+    plan.packet_loss = 0.08;
+
+    let no_retry = Executor::default()
+        .with_faults(plan.clone())
+        .run(&dep, &trace, SEED)
+        .unwrap();
+    let retry_cfg = ExecutorConfig {
+        retry: RetryPolicy::standard(),
+        ..ExecutorConfig::default()
+    };
+    let with_retry = Executor::new(retry_cfg)
+        .with_faults(plan)
+        .run(&dep, &trace, SEED)
+        .unwrap();
+
+    let base = analyze(&no_retry);
+    let retried = analyze(&with_retry);
+    assert!(
+        base.success_ratio < 0.99,
+        "the fault mix must actually hurt: SR {}",
+        base.success_ratio
+    );
+    assert!(
+        retried.success_ratio > base.success_ratio,
+        "retries must improve availability: {} -> {}",
+        base.success_ratio,
+        retried.success_ratio
+    );
+    assert!(with_retry.retries > 0, "the retry layer must fire");
+    let p99_base = base.latency.unwrap().p99;
+    let p99_retried = retried.latency.unwrap().p99;
+    assert!(
+        p99_retried >= p99_base,
+        "recovered requests arrive late; p99 must not improve: {p99_base} -> {p99_retried}"
     );
 }

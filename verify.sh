@@ -30,4 +30,33 @@ if [[ -z "$engine" || "$engine" != "$explorer_engine" ]]; then
 fi
 echo "verify.sh: trace round-trip ok ($lines trace events, $engine engine events)"
 
+# Fault-matrix smoke: run the fault scenario with retries on two seeds and
+# cross-check the recorded fault events against the analyzer's totals
+# (platform faults + client-path faults == "fault" lines in the trace).
+for smoke_seed in 7 99; do
+    smoke_out="$(./target/release/slsb run scenarios/fault_smoke.json \
+        --retry attempts=3,base=0.2 --seed "$smoke_seed" --trace "$tracefile")"
+    plat_faults="$(sed -n 's/^plat. faults  : //p' <<<"$smoke_out")"
+    client_faults="$(sed -n 's/^client faults : //p' <<<"$smoke_out")"
+    retries="$(sed -n 's/^retries       : //p' <<<"$smoke_out")"
+    fault_lines="$(grep -c '"event":"fault"' "$tracefile" || true)"
+    if [[ -z "$plat_faults" || -z "$client_faults" ]]; then
+        echo "verify.sh: fault smoke (seed $smoke_seed): missing fault totals in run output" >&2
+        exit 1
+    fi
+    if (( plat_faults + client_faults != fault_lines )); then
+        echo "verify.sh: fault smoke (seed $smoke_seed): analyzer totals ($plat_faults+$client_faults) != $fault_lines recorded fault events" >&2
+        exit 1
+    fi
+    if (( plat_faults + client_faults == 0 )); then
+        echo "verify.sh: fault smoke (seed $smoke_seed): the fault plan injected nothing" >&2
+        exit 1
+    fi
+    if (( retries == 0 )); then
+        echo "verify.sh: fault smoke (seed $smoke_seed): retries did not fire" >&2
+        exit 1
+    fi
+    echo "verify.sh: fault smoke ok (seed $smoke_seed: $fault_lines fault events, $retries retries)"
+done
+
 echo "verify.sh: all gates passed"
