@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use slsb_core::{Deployment, Executor};
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::PlatformKind;
-use slsb_sim::event::{Engine, EventQueue, System};
-use slsb_sim::{Seed, SimTime};
+use slsb_sim::event::{Engine, EventQueue, Kernel, System};
+use slsb_sim::{Seed, SimDuration, SimTime};
 use slsb_workload::MmppPreset;
 use std::time::Duration;
 
@@ -36,6 +36,52 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wheel vs heap on the two shapes that matter: bulk preload-then-drain
+/// (stresses overflow and re-sorting) and steady-state pop-one
+/// schedule-one (the shape real simulations have).
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/schedule-pop");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for kernel in [Kernel::Wheel, Kernel::Heap] {
+        group.bench_function(&format!("preload-drain-100k/{}", kernel.name()), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_kernel_and_capacity(kernel, N as usize);
+                for i in 0..N {
+                    q.schedule_at(
+                        SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000_000),
+                        i,
+                    );
+                }
+                while let Some(ev) = q.pop() {
+                    std::hint::black_box(ev);
+                }
+            })
+        });
+        group.bench_function(&format!("steady-state-100k/{}", kernel.name()), |b| {
+            b.iter(|| {
+                const RESIDENT: u64 = 4_096;
+                let mut q = EventQueue::with_kernel_and_capacity(kernel, RESIDENT as usize);
+                for i in 0..RESIDENT {
+                    q.schedule_at(
+                        SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000),
+                        i,
+                    );
+                }
+                for _ in 0..N {
+                    let (at, ev) = q.pop().unwrap();
+                    let delay = 1 + ev.wrapping_mul(2654435761) % 50_000;
+                    q.schedule_at(at + SimDuration::from_micros(delay), ev);
+                }
+                while let Some(ev) = q.pop() {
+                    std::hint::black_box(ev);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mmpp(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/mmpp");
     group.bench_function("generate-w200", |b| {
@@ -55,17 +101,28 @@ fn bench_end_to_end(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(8));
     let trace = MmppPreset::W40.generate(Seed(1));
     group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("serverless-mobilenet-w40", |b| {
-        let dep = Deployment::new(
-            PlatformKind::AwsServerless,
-            ModelKind::MobileNet,
-            RuntimeKind::Tf115,
+    for kernel in [Kernel::Wheel, Kernel::Heap] {
+        group.bench_function(
+            &format!("serverless-mobilenet-w40/{}", kernel.name()),
+            |b| {
+                let dep = Deployment::new(
+                    PlatformKind::AwsServerless,
+                    ModelKind::MobileNet,
+                    RuntimeKind::Tf115,
+                );
+                let exec = Executor::default().with_kernel(kernel);
+                b.iter(|| exec.run(&dep, &trace, Seed(1)).unwrap())
+            },
         );
-        let exec = Executor::default();
-        b.iter(|| exec.run(&dep, &trace, Seed(1)).unwrap())
-    });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_mmpp, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_kernels,
+    bench_mmpp,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! per-instance timelines.
 
 use slsb_bench::cli::extract_log_level;
+use slsb_bench::perf;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
     Deployment, Executor, ExplorerGrid, Jobs, RetryPolicy, Scenario, Table, WorkloadSpec,
@@ -28,12 +29,18 @@ use slsb_sim::Seed;
 use slsb_workload::MmppPreset;
 use std::process::ExitCode;
 
+/// Counting allocator so `slsb bench` can report allocation deltas; the
+/// cost elsewhere is one relaxed atomic increment per allocation.
+#[global_allocator]
+static ALLOC: perf::CountingAllocator = perf::CountingAllocator;
+
 const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N]
   slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--seed N]
   slsb trace     <trace.jsonl>
+  slsb bench     [--quick] [--out FILE]
 
 --jobs N runs N simulations in parallel (default: all cores; results are
 bit-identical to --jobs 1 for any N).
@@ -46,6 +53,10 @@ max=S jitter=F budget=N, e.g. 'attempts=3,base=0.5'); --seed N
 overrides the scenario seed.
 trace renders a recorded file: per-request waterfall, phase attribution,
 cold-start breakdown, fault attribution, and per-instance timelines.
+bench measures event-kernel and end-to-end throughput for both the
+timer-wheel and the reference binary-heap kernel and writes the report
+to FILE (default BENCH_kernel.json); --quick runs a smaller smoke-test
+matrix.
 
 platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
 
@@ -355,7 +366,8 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
         Some(out_path) => {
             let file = std::fs::File::create(out_path)
                 .map_err(|e| format!("cannot create {out_path}: {e}"))?;
-            let mut rec = JsonlRecorder::new(std::io::BufWriter::new(file));
+            // JsonlRecorder buffers internally, so the file goes in raw.
+            let mut rec = JsonlRecorder::new(file);
             let result = scenario.run_recorded(&mut rec).map_err(|e| e.to_string())?;
             let written = rec
                 .finish()
@@ -382,6 +394,45 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
         "\n{}",
         ascii_chart("mean latency per 10s bucket (s)", &series, 8)
     );
+    Ok(())
+}
+
+/// Removes a valueless `flag` from `args`, returning whether it was
+/// present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
+/// Flags accepted by `slsb bench`.
+#[derive(Debug, PartialEq)]
+struct BenchArgs {
+    quick: bool,
+    out: String,
+}
+
+fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let out = take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    let quick = take_switch(&mut args, "--quick");
+    if !args.is_empty() {
+        return Err(format!("unexpected bench arguments {args:?}\n{USAGE}"));
+    }
+    Ok(BenchArgs { quick, out })
+}
+
+fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
+    let mode = if args.quick { "quick" } else { "full" };
+    println!("Measuring kernel throughput (wheel vs heap, {mode} matrix)...\n");
+    let report = perf::run_benchmarks(&perf::BenchConfig { quick: args.quick })?;
+    println!("{}", perf::summary(&report));
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&args.out, json + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", args.out))?;
+    println!("\nreport written to {}", args.out);
     Ok(())
 }
 
@@ -429,6 +480,7 @@ fn main() -> ExitCode {
             [path] => cmd_trace(path),
             _ => Err("trace needs exactly one trace file".into()),
         },
+        "bench" => parse_bench_args(rest).and_then(|a| cmd_bench(&a)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -541,6 +593,30 @@ mod tests {
         let (path, o) = parse_run_args(&strs(&["a.json"])).unwrap();
         assert_eq!(path, "a.json");
         assert_eq!(o, RunOptions::default());
+    }
+
+    #[test]
+    fn bench_args_defaults_and_flags() {
+        let a = parse_bench_args(&[]).unwrap();
+        assert_eq!(
+            a,
+            BenchArgs {
+                quick: false,
+                out: "BENCH_kernel.json".to_string()
+            }
+        );
+        let a = parse_bench_args(&strs(&["--quick", "--out", "x.json"])).unwrap();
+        assert_eq!(
+            a,
+            BenchArgs {
+                quick: true,
+                out: "x.json".to_string()
+            }
+        );
+        // Flags in the other order work too; stray arguments do not.
+        assert!(parse_bench_args(&strs(&["--out", "x.json", "--quick"])).is_ok());
+        assert!(parse_bench_args(&strs(&["extra"])).is_err());
+        assert!(parse_bench_args(&strs(&["--out"])).is_err());
     }
 
     #[test]

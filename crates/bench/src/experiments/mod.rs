@@ -23,7 +23,9 @@ pub mod sweeps;
 pub mod timelines;
 pub mod workloads;
 
-use slsb_core::{analyze, Analysis, Deployment, Executor, ExperimentId, RunResult, Table, TraceCache};
+use slsb_core::{
+    analyze, Analysis, Deployment, Executor, ExperimentId, RunResult, Table, TraceCache,
+};
 use slsb_sim::Seed;
 use slsb_workload::{MmppPreset, WorkloadTrace};
 use std::sync::Arc;

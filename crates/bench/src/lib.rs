@@ -6,5 +6,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{run_experiment, ExperimentOutput, ReproConfig};
+pub use perf::{run_benchmarks, BenchConfig, BenchReport, CountingAllocator};

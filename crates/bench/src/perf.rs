@@ -1,0 +1,360 @@
+//! Tracked kernel performance baseline behind `slsb bench`.
+//!
+//! Criterion benches are great for interactive tuning but their output is
+//! ephemeral; this module produces a small, committed JSON artifact
+//! (`BENCH_kernel.json`) so kernel regressions show up in review. Every
+//! measurement is taken twice — once with the default timer-wheel kernel
+//! and once with the reference binary-heap kernel — so the file records
+//! the speedup alongside the baseline it was measured against.
+//!
+//! Two layers are measured:
+//!
+//! * **schedule/pop microbenches** drive [`EventQueue`] directly, in two
+//!   patterns: `preload-drain` (bulk-schedule a shuffled horizon, then
+//!   drain — stresses overflow handling and re-sorting) and
+//!   `steady-state` (a full queue where every pop schedules a near-future
+//!   replacement — the shape simulations actually have, and where the
+//!   wheel's O(1) hot path pays off).
+//! * **end-to-end replicates** run the full executor on a serverless
+//!   deployment across several seeds, the same shape as `slsb replicate`.
+//!
+//! Allocation counts come from [`CountingAllocator`], which the `slsb`
+//! binary installs as its `#[global_allocator]`. When the allocator is
+//! not installed (e.g. library tests), counts read as zero deltas and the
+//! report simply omits that signal.
+
+use serde::Serialize;
+use slsb_core::{Deployment, Executor};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_sim::event::{EventQueue, Kernel};
+use slsb_sim::{Seed, SimTime};
+use slsb_workload::MmppPreset;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A pass-through allocator that counts allocations. Install it with
+/// `#[global_allocator]` in a binary to make [`allocation_count`] live;
+/// the counter uses relaxed atomics, so the overhead is one uncontended
+/// fetch-add per allocation.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation and deallocation directly to `System`;
+// the counter has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocations observed since process start (zero if the counting
+/// allocator is not installed as the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One schedule/pop microbench measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBench {
+    /// Which kernel ran (`wheel` or `heap`).
+    pub kernel: String,
+    /// Insert/pop pattern (`preload-drain` or `steady-state`).
+    pub pattern: String,
+    /// Events scheduled and popped (one event = one schedule + one pop).
+    pub events: u64,
+    pub elapsed_secs: f64,
+    pub events_per_sec: f64,
+    /// Heap allocations during the timed region (0 when the counting
+    /// allocator is not installed).
+    pub allocations: u64,
+}
+
+/// One end-to-end replicate measurement (full executor, N seeds).
+#[derive(Debug, Clone, Serialize)]
+pub struct EndToEndBench {
+    pub kernel: String,
+    pub preset: String,
+    pub requests: u64,
+    pub reps: u64,
+    /// Engine events processed across all reps.
+    pub engine_events: u64,
+    pub elapsed_secs: f64,
+    pub events_per_sec: f64,
+    pub allocations: u64,
+}
+
+/// The committed baseline artifact (`BENCH_kernel.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    pub schema: String,
+    /// True when produced by `slsb bench --quick` (smaller workloads;
+    /// numbers are smoke-test grade, not baseline grade).
+    pub quick: bool,
+    pub schedule_pop: Vec<KernelBench>,
+    pub end_to_end: Vec<EndToEndBench>,
+    /// Wheel-over-heap throughput ratio across the schedule/pop
+    /// microbenches (total events / total elapsed per kernel).
+    pub kernel_speedup: f64,
+    /// Wheel-over-heap throughput ratio for the end-to-end replicates.
+    pub end_to_end_speedup: f64,
+}
+
+/// Workload sizes for one `slsb bench` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    fn micro_events(&self) -> u64 {
+        if self.quick {
+            50_000
+        } else {
+            400_000
+        }
+    }
+
+    fn micro_reps(&self) -> u64 {
+        if self.quick {
+            2
+        } else {
+            5
+        }
+    }
+
+    fn preset(&self) -> MmppPreset {
+        if self.quick {
+            MmppPreset::W40
+        } else {
+            MmppPreset::W120
+        }
+    }
+
+    fn e2e_reps(&self) -> u64 {
+        if self.quick {
+            2
+        } else {
+            5
+        }
+    }
+}
+
+/// Cheap deterministic shuffle for microbench timestamps.
+fn mix(i: u64, rep: u64) -> u64 {
+    i.wrapping_add(rep.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(2_654_435_761)
+}
+
+fn micro_preload_drain(kernel: Kernel, n: u64, reps: u64) -> KernelBench {
+    let a0 = allocation_count();
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        let mut q = EventQueue::with_kernel_and_capacity(kernel, n as usize);
+        for i in 0..n {
+            // Shuffled stamps across a ~1000 s horizon: most inserts land
+            // in the wheel's far-future overflow, the worst case for it.
+            q.schedule_at(SimTime::from_micros(mix(i, rep) % 1_000_000_000), i);
+        }
+        while let Some(ev) = q.pop() {
+            std::hint::black_box(ev);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let events = n * reps;
+    KernelBench {
+        kernel: kernel.name().to_string(),
+        pattern: "preload-drain".to_string(),
+        events,
+        elapsed_secs: elapsed,
+        events_per_sec: events as f64 / elapsed.max(1e-12),
+        allocations: allocation_count() - a0,
+    }
+}
+
+fn micro_steady_state(kernel: Kernel, n: u64, reps: u64) -> KernelBench {
+    // A resident population of pending events, as in a simulation with
+    // this many in-flight requests.
+    const RESIDENT: u64 = 4_096;
+    let a0 = allocation_count();
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        let mut q = EventQueue::with_kernel_and_capacity(kernel, RESIDENT as usize);
+        for i in 0..RESIDENT {
+            q.schedule_at(SimTime::from_micros(mix(i, rep) % 1_000_000), i);
+        }
+        // Each pop schedules a near-future replacement, so the queue
+        // stays full and the cursor keeps moving — the steady-state shape
+        // where the wheel's O(1) insert/pop dominates.
+        for _ in 0..n {
+            let (at, ev) = q.pop().expect("queue stays populated");
+            let delay = 1 + mix(ev, rep) % 50_000;
+            q.schedule_at(at + slsb_sim::SimDuration::from_micros(delay), ev);
+        }
+        while let Some(ev) = q.pop() {
+            std::hint::black_box(ev);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let events = n * reps;
+    KernelBench {
+        kernel: kernel.name().to_string(),
+        pattern: "steady-state".to_string(),
+        events,
+        elapsed_secs: elapsed,
+        events_per_sec: events as f64 / elapsed.max(1e-12),
+        allocations: allocation_count() - a0,
+    }
+}
+
+fn end_to_end(kernel: Kernel, cfg: &BenchConfig) -> Result<EndToEndBench, String> {
+    let preset = cfg.preset();
+    let trace = preset.generate(Seed(152).substream("bench-workload"));
+    let dep = Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    );
+    let exec = Executor::default().with_kernel(kernel);
+    // Warm up once so page faults and lazy init are off the clock.
+    exec.run(&dep, &trace, Seed(1)).map_err(|e| e.to_string())?;
+    let mut engine_events = 0u64;
+    let a0 = allocation_count();
+    let t0 = Instant::now();
+    for rep in 0..cfg.e2e_reps() {
+        let run = exec
+            .run(&dep, &trace, Seed(1000 + rep))
+            .map_err(|e| e.to_string())?;
+        engine_events += run.engine_events;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    Ok(EndToEndBench {
+        kernel: kernel.name().to_string(),
+        preset: preset.spec().name.to_string(),
+        requests: trace.len() as u64,
+        reps: cfg.e2e_reps(),
+        engine_events,
+        elapsed_secs: elapsed,
+        events_per_sec: engine_events as f64 / elapsed.max(1e-12),
+        allocations: allocation_count() - a0,
+    })
+}
+
+fn throughput(benches: &[&KernelBench]) -> f64 {
+    let events: u64 = benches.iter().map(|b| b.events).sum();
+    let elapsed: f64 = benches.iter().map(|b| b.elapsed_secs).sum();
+    events as f64 / elapsed.max(1e-12)
+}
+
+/// Runs the full measurement matrix and assembles the report.
+pub fn run_benchmarks(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let n = cfg.micro_events();
+    let reps = cfg.micro_reps();
+    // Warm up the allocator and branch predictors off the clock.
+    micro_preload_drain(Kernel::Wheel, n / 10, 1);
+    micro_preload_drain(Kernel::Heap, n / 10, 1);
+
+    let mut schedule_pop = Vec::new();
+    for kernel in [Kernel::Wheel, Kernel::Heap] {
+        schedule_pop.push(micro_preload_drain(kernel, n, reps));
+        schedule_pop.push(micro_steady_state(kernel, n, reps));
+    }
+
+    let wheel: Vec<&KernelBench> = schedule_pop
+        .iter()
+        .filter(|b| b.kernel == "wheel")
+        .collect();
+    let heap: Vec<&KernelBench> = schedule_pop.iter().filter(|b| b.kernel == "heap").collect();
+    let kernel_speedup = throughput(&wheel) / throughput(&heap).max(1e-12);
+
+    let e2e_wheel = end_to_end(Kernel::Wheel, cfg)?;
+    let e2e_heap = end_to_end(Kernel::Heap, cfg)?;
+    let end_to_end_speedup = e2e_wheel.events_per_sec / e2e_heap.events_per_sec.max(1e-12);
+
+    Ok(BenchReport {
+        schema: "slsb-bench-kernel/v1".to_string(),
+        quick: cfg.quick,
+        schedule_pop,
+        end_to_end: vec![e2e_wheel, e2e_heap],
+        kernel_speedup,
+        end_to_end_speedup,
+    })
+}
+
+/// Human-readable summary of a report, one line per measurement.
+pub fn summary(report: &BenchReport) -> String {
+    let mut out = String::new();
+    for b in &report.schedule_pop {
+        out.push_str(&format!(
+            "{:<5} {:<13} {:>9} ev in {:>7.3}s = {:>12.0} ev/s  ({} allocs)\n",
+            b.kernel, b.pattern, b.events, b.elapsed_secs, b.events_per_sec, b.allocations
+        ));
+    }
+    for b in &report.end_to_end {
+        out.push_str(&format!(
+            "{:<5} end-to-end {} x{:<2} {:>9} ev in {:>7.3}s = {:>12.0} ev/s  ({} allocs)\n",
+            b.kernel,
+            b.preset,
+            b.reps,
+            b.engine_events,
+            b.elapsed_secs,
+            b.events_per_sec,
+            b.allocations
+        ));
+    }
+    out.push_str(&format!(
+        "kernel schedule/pop speedup (wheel vs heap): {:.2}x\n",
+        report.kernel_speedup
+    ));
+    out.push_str(&format!(
+        "end-to-end replicate speedup (wheel vs heap): {:.2}x",
+        report.end_to_end_speedup
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_benchmarks_produce_consistent_report() {
+        let cfg = BenchConfig { quick: true };
+        let report = run_benchmarks(&cfg).unwrap();
+        assert!(report.quick);
+        assert_eq!(report.schedule_pop.len(), 4);
+        assert_eq!(report.end_to_end.len(), 2);
+        for b in &report.schedule_pop {
+            assert!(b.events_per_sec > 0.0, "{b:?}");
+        }
+        for b in &report.end_to_end {
+            assert!(b.events_per_sec > 0.0, "{b:?}");
+            assert!(b.engine_events > 0, "{b:?}");
+        }
+        assert!(report.kernel_speedup > 0.0);
+        assert!(report.end_to_end_speedup > 0.0);
+        // The report round-trips through the JSON layer.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("slsb-bench-kernel/v1"));
+    }
+
+    #[test]
+    fn allocation_counter_is_monotone() {
+        let a = allocation_count();
+        let v = vec![1u8; 1024];
+        std::hint::black_box(&v);
+        assert!(allocation_count() >= a);
+    }
+}

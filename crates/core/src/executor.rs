@@ -16,7 +16,7 @@ use slsb_platform::{
     ColdStartBreakdown, FailureReason, FaultInjector, FaultPlan, NetworkProfile, Outcome, Platform,
     PlatformEvent, PlatformReport, PlatformScheduler, RequestId, ServingRequest,
 };
-use slsb_sim::{Engine, EventQueue, Seed, SimDuration, SimRng, SimTime, System};
+use slsb_sim::{Engine, EventQueue, Kernel, Seed, SimDuration, SimRng, SimTime, System};
 use slsb_workload::{InputKind, RequestPool, WorkloadTrace};
 
 /// Client retry policy: how an invocation is re-issued after a failed or
@@ -277,6 +277,7 @@ impl RunResult {
 pub struct Executor {
     cfg: ExecutorConfig,
     faults: FaultPlan,
+    kernel: Kernel,
 }
 
 enum ExecEvent {
@@ -520,7 +521,18 @@ impl Executor {
         Executor {
             cfg,
             faults: FaultPlan::none(),
+            kernel: Kernel::default(),
         }
+    }
+
+    /// Selects the event-queue kernel for every run this executor performs.
+    /// Both kernels deliver identical results; the non-default [`Kernel::Heap`]
+    /// exists so `slsb bench` can measure the timer wheel against the
+    /// original binary-heap scheduler on the same code path.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The configuration.
@@ -617,6 +629,7 @@ impl Executor {
         // An empty plan installs an injector that never draws, so this is
         // unconditional without costing byte-identity.
         platform.set_faults(&self.faults, seed);
+        platform.reserve(trace.arrivals().len());
         let pool = self.pool_for(deployment.model, deployment.samples_per_request);
 
         // Assign requests to clients round-robin (the paper's splitter) and
@@ -684,7 +697,8 @@ impl Executor {
         // system can own the invocation tables outright. First-attempt
         // client-path jitter is drawn here in invocation order; retry-time
         // draws then follow in event order — both deterministic.
-        let mut client_faults = FaultInjector::new(self.faults.clone(), seed.substream("client-faults"));
+        let mut client_faults =
+            FaultInjector::new(self.faults.clone(), seed.substream("client-faults"));
         let net_in: Vec<SimDuration> = payload_per_invocation
             .iter()
             .map(|&bytes| self.cfg.network.transfer_time(bytes))
@@ -709,25 +723,37 @@ impl Executor {
         } else {
             Vec::new()
         };
-        let mut engine = Engine::new(ExecSystem {
-            platform,
-            invocations,
-            payload_per_invocation,
-            inferences_per_invocation,
-            responses: Vec::new(),
-            buffer: Vec::new(),
-            rec,
-            client_faults,
-            retry: self.cfg.retry,
-            n_inv,
-            net_in,
-            response_net: self.cfg.network.response_time(),
-            deadline,
-            attempt: if retrying { vec![1; n_inv] } else { Vec::new() },
-            resolution: if retrying { vec![None; n_inv] } else { Vec::new() },
-            retries_used: 0,
-            backoff_rng: seed.substream("retry-backoff").rng(),
-        });
+        // Deliveries (and in retry mode, their timeouts) are scheduled up
+        // front, so the queue's high-water mark is about one entry per
+        // invocation plus in-flight platform events.
+        let queue_cap = if retrying { 2 * n + 64 } else { n + 64 };
+        let queue = EventQueue::with_kernel_and_capacity(self.kernel, queue_cap);
+        let mut engine = Engine::with_queue(
+            ExecSystem {
+                platform,
+                invocations,
+                payload_per_invocation,
+                inferences_per_invocation,
+                responses: Vec::new(),
+                buffer: Vec::new(),
+                rec,
+                client_faults,
+                retry: self.cfg.retry,
+                n_inv,
+                net_in,
+                response_net: self.cfg.network.response_time(),
+                deadline,
+                attempt: if retrying { vec![1; n_inv] } else { Vec::new() },
+                resolution: if retrying {
+                    vec![None; n_inv]
+                } else {
+                    Vec::new()
+                },
+                retries_used: 0,
+                backoff_rng: seed.substream("retry-backoff").rng(),
+            },
+            queue,
+        );
 
         let horizon =
             SimTime::ZERO + trace.duration() + self.cfg.timeout + SimDuration::from_secs(30);
@@ -811,8 +837,12 @@ impl Executor {
                         // The winning attempt's exec time is approximated by
                         // its predict time (the retransmission history makes
                         // the phase algebra of the single-shot path moot).
-                        spans[m] =
-                            Some((res.received_at, sys.net_in[inv_idx], res.predict, response_net));
+                        spans[m] = Some((
+                            res.received_at,
+                            sys.net_in[inv_idx],
+                            res.predict,
+                            response_net,
+                        ));
                     }
                 }
             }
@@ -859,12 +889,19 @@ impl Executor {
                         Some(s) => s,
                         // The platform never answered: the client's timeout
                         // is the whole story, no server-side phases.
-                        None => (horizon, SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO),
+                        None => (
+                            horizon,
+                            SimDuration::ZERO,
+                            SimDuration::ZERO,
+                            SimDuration::ZERO,
+                        ),
                     };
                     let outcome = match rec.outcome {
                         Outcome::Success => SpanOutcome::Success,
                         Outcome::Failure(FailureReason::QueueFull) => SpanOutcome::QueueFull,
-                        Outcome::Failure(FailureReason::ClientTimeout) => SpanOutcome::ClientTimeout,
+                        Outcome::Failure(FailureReason::ClientTimeout) => {
+                            SpanOutcome::ClientTimeout
+                        }
                         Outcome::Failure(FailureReason::Rejected) => SpanOutcome::Rejected,
                         Outcome::Failure(FailureReason::Throttled) => SpanOutcome::Throttled,
                         Outcome::Failure(FailureReason::Crashed) => SpanOutcome::Crashed,

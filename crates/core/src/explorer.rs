@@ -136,9 +136,8 @@ pub fn explore_jobs(
     seed: Seed,
     jobs: Jobs,
 ) -> Result<Exploration, PlanError> {
-    let mut cells = Vec::with_capacity(
-        grid.memory_mb.len() * grid.runtimes.len() * grid.batch_sizes.len(),
-    );
+    let mut cells =
+        Vec::with_capacity(grid.memory_mb.len() * grid.runtimes.len() * grid.batch_sizes.len());
     for &memory_mb in &grid.memory_mb {
         for &runtime in &grid.runtimes {
             for &batch in &grid.batch_sizes {

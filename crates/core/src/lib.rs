@@ -53,7 +53,9 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use analyzer::{analyze, analyze_with_bucket, run_metrics, Analysis, ColdStartStats, LatencyStats};
+pub use analyzer::{
+    analyze, analyze_with_bucket, run_metrics, Analysis, ColdStartStats, LatencyStats,
+};
 pub use batching::{plan_invocations, BatchPolicy, Invocation};
 pub use executor::{Executor, ExecutorConfig, RequestRecord, RetryPolicy, RunResult};
 pub use experiment::ExperimentId;

@@ -187,7 +187,13 @@ impl TraceCache {
         let key = (seed.0, preset, scale.to_bits());
         let mut map = Self::lock();
         Arc::clone(map.entry(key).or_insert_with(|| {
-            Arc::new(WorkloadSpec::Preset { which: preset, scale }.generate(seed))
+            Arc::new(
+                WorkloadSpec::Preset {
+                    which: preset,
+                    scale,
+                }
+                .generate(seed),
+            )
         }))
     }
 

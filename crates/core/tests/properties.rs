@@ -3,7 +3,9 @@
 //! conserves counts, keeps latency causal, and stays deterministic.
 
 use proptest::prelude::*;
-use slsb_core::{analyze, Analysis, BatchPolicy, Deployment, Executor, ExecutorConfig, RetryPolicy};
+use slsb_core::{
+    analyze, Analysis, BatchPolicy, Deployment, Executor, ExecutorConfig, RetryPolicy,
+};
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::{FaultPlan, PlatformKind};
 use slsb_sim::{Seed, SimDuration};
@@ -172,7 +174,11 @@ fn retry_setup(u: &[f64]) -> (RetryPolicy, FaultPlan) {
         base_backoff: SimDuration::from_secs_f64(0.05 + u[2]),
         max_backoff: SimDuration::from_secs_f64(1.0 + u[3] * 7.0),
         jitter: u[4],
-        budget: if u[5] < 0.3 { (u[5] * 400.0) as u64 } else { u64::MAX },
+        budget: if u[5] < 0.3 {
+            (u[5] * 400.0) as u64
+        } else {
+            u64::MAX
+        },
     };
     let mut plan = FaultPlan::none();
     plan.packet_loss = u[6] * 0.3;

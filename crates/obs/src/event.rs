@@ -45,13 +45,22 @@ pub enum Component {
     Vm,
 }
 
-impl fmt::Display for Component {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Component {
+    /// The component's interned label — a `&'static str`, so hot paths
+    /// (metric keys, attribution tables) never allocate to name a
+    /// component.
+    pub fn label(self) -> &'static str {
+        match self {
             Component::Serverless => "serverless",
             Component::ManagedMl => "managed-ml",
             Component::Vm => "vm",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -128,16 +137,23 @@ pub enum FaultKind {
     PacketLoss,
 }
 
-impl fmt::Display for FaultKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl FaultKind {
+    /// The fault kind's interned label (see [`Component::label`]).
+    pub fn label(self) -> &'static str {
+        match self {
             FaultKind::BootCrash => "boot-crash",
             FaultKind::ExecCrash => "exec-crash",
             FaultKind::StorageStall => "storage-stall",
             FaultKind::Throttled => "throttled",
             FaultKind::Outage => "outage",
             FaultKind::PacketLoss => "packet-loss",
-        })
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -37,7 +37,10 @@ impl LogLinearHistogram {
     /// A histogram spanning `[10^min_exp, 10^(min_exp + decades))` with
     /// `sub` linear sub-buckets per decade.
     pub fn with_range(min_exp: i32, decades: u32, sub: u32) -> Self {
-        assert!(decades > 0 && sub > 0, "histogram needs at least one bucket");
+        assert!(
+            decades > 0 && sub > 0,
+            "histogram needs at least one bucket"
+        );
         LogLinearHistogram {
             min_exp,
             decades,
@@ -168,9 +171,16 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Adds `by` to a counter, creating it at zero if absent.
+    /// Adds `by` to a counter, creating it at zero if absent. The hot
+    /// path (an existing counter) allocates nothing; the key `String` is
+    /// only built on first touch.
     pub fn inc(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
     }
 
     /// Reads a counter (0 if never touched).
@@ -178,10 +188,15 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Raises a high-watermark gauge to `v` if `v` exceeds it.
+    /// Raises a high-watermark gauge to `v` if `v` exceeds it. Allocation
+    /// only happens on a gauge's first touch.
     pub fn gauge_max(&mut self, name: &str, v: i64) {
-        let g = self.gauges.entry(name.to_string()).or_insert(i64::MIN);
-        *g = (*g).max(v);
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = (*g).max(v),
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
     }
 
     /// Reads a gauge, if it was ever set.
@@ -190,12 +205,16 @@ impl MetricsRegistry {
     }
 
     /// Records a sample into a histogram, creating it (default layout)
-    /// if absent.
+    /// if absent. Allocation only happens on a histogram's first touch.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(v);
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = LogLinearHistogram::default();
+                h.record(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
     }
 
     /// Looks a histogram up.

@@ -9,6 +9,7 @@
 
 use crate::event::TraceEvent;
 use std::io;
+use std::io::Write as _;
 
 /// A sink for [`TraceEvent`]s.
 pub trait Recorder {
@@ -65,35 +66,43 @@ impl Recorder for MemoryRecorder {
 }
 
 /// Streams events as JSON Lines (one compact JSON object per line) into
-/// any [`io::Write`] sink.
+/// any [`io::Write`] sink, buffering internally so each event costs a
+/// memcpy rather than a syscall-sized write.
 ///
 /// Write errors do not panic mid-simulation: the first error is latched,
 /// further events are discarded, and [`JsonlRecorder::finish`] reports it.
+/// Because writes are buffered, an underlying failure may only surface at
+/// `finish`, which flushes explicitly.
 #[derive(Debug)]
 pub struct JsonlRecorder<W: io::Write> {
-    out: W,
+    out: io::BufWriter<W>,
+    /// Scratch line, reused across events so steady-state recording does
+    /// not allocate.
+    line: String,
     written: u64,
     error: Option<io::Error>,
 }
 
 impl<W: io::Write> JsonlRecorder<W> {
-    /// Wraps a writer. Callers that write to files should pass a
-    /// `BufWriter` — the recorder issues one `write_all` per event.
+    /// Wraps a writer. The recorder buffers internally, so callers should
+    /// hand over the raw sink (e.g. a `File`) directly.
     pub fn new(out: W) -> Self {
         JsonlRecorder {
-            out,
+            out: io::BufWriter::new(out),
+            line: String::new(),
             written: 0,
             error: None,
         }
     }
 
-    /// Events successfully written so far.
+    /// Events accepted (serialized and handed to the buffered writer) so
+    /// far.
     pub fn events_written(&self) -> u64 {
         self.written
     }
 
-    /// Flushes the writer and returns the event count, or the first
-    /// write error encountered.
+    /// Flushes the buffer and returns the event count, or the first write
+    /// error encountered.
     pub fn finish(mut self) -> io::Result<u64> {
         if let Some(e) = self.error {
             return Err(e);
@@ -110,9 +119,9 @@ impl<W: io::Write> Recorder for JsonlRecorder<W> {
         }
         // The event types serialize infallibly (no maps with non-string
         // keys, no non-finite floats in the schema).
-        let mut line = serde_json::to_string(ev).expect("trace events are serializable");
-        line.push('\n');
-        if let Err(e) = self.out.write_all(line.as_bytes()) {
+        serde_json::to_string_into(ev, &mut self.line).expect("trace events are serializable");
+        self.line.push('\n');
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
             self.error = Some(e);
             return;
         }
@@ -175,7 +184,27 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_latches_write_errors() {
+    fn jsonl_reports_write_errors_by_finish() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _b: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Small events sit in the internal buffer until the final flush,
+        // so the error is guaranteed to surface at `finish` (it may latch
+        // earlier once enough events accumulate to force a write-through).
+        let mut rec = JsonlRecorder::new(Failing);
+        rec.record(&sample(1));
+        rec.record(&sample(2));
+        assert!(rec.finish().is_err());
+    }
+
+    #[test]
+    fn jsonl_discards_events_after_a_latched_error() {
         struct Failing;
         impl io::Write for Failing {
             fn write(&mut self, _b: &[u8]) -> io::Result<usize> {
@@ -186,9 +215,14 @@ mod tests {
             }
         }
         let mut rec = JsonlRecorder::new(Failing);
-        rec.record(&sample(1));
-        rec.record(&sample(2));
-        assert_eq!(rec.events_written(), 0);
+        // Enough volume to overflow the internal buffer and latch the
+        // error mid-run.
+        for i in 0..10_000 {
+            rec.record(&sample(i));
+        }
+        let mid_run = rec.events_written();
+        rec.record(&sample(0));
+        assert_eq!(rec.events_written(), mid_run);
         assert!(rec.finish().is_err());
     }
 }

@@ -137,8 +137,9 @@ pub fn phase_attribution(events: &[TraceEvent]) -> String {
         out.push_str("  (no successful request spans)\n");
         return out;
     }
-    let mut hists: Vec<LogLinearHistogram> =
-        (0..PHASES.len()).map(|_| LogLinearHistogram::default()).collect();
+    let mut hists: Vec<LogLinearHistogram> = (0..PHASES.len())
+        .map(|_| LogLinearHistogram::default())
+        .collect();
     let mut sums = [0u64; 5];
     let mut grand = 0u64;
     for s in &ok {
@@ -179,8 +180,10 @@ pub fn phase_attribution(events: &[TraceEvent]) -> String {
 /// paper's boot → import → download → load breakdown.
 pub fn cold_start_breakdown(events: &[TraceEvent]) -> String {
     let stages = ["boot", "import", "download", "load"];
-    let mut hists: Vec<LogLinearHistogram> =
-        stages.iter().map(|_| LogLinearHistogram::default()).collect();
+    let mut hists: Vec<LogLinearHistogram> = stages
+        .iter()
+        .map(|_| LogLinearHistogram::default())
+        .collect();
     let mut sums = [0u64; 4];
     let mut total = 0u64;
     let mut instances = 0u64;
@@ -285,12 +288,13 @@ pub fn waterfall(events: &[TraceEvent], limit: usize) -> String {
 /// kind's share of the total. Sorted by kind name, then component, so the
 /// rendering is deterministic.
 pub fn fault_attribution(events: &[TraceEvent]) -> String {
-    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    // Interned labels keep this pass allocation-free per event.
+    let mut counts: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
     let mut total = 0u64;
     for ev in events {
         if let EventKind::Fault { component, kind } = ev.kind {
-            let who = component.map_or_else(|| "client".to_string(), |c| c.to_string());
-            *counts.entry((kind.to_string(), who)).or_insert(0) += 1;
+            let who = component.map_or("client", |c| c.label());
+            *counts.entry((kind.label(), who)).or_insert(0) += 1;
             total += 1;
         }
     }
@@ -362,13 +366,19 @@ pub fn instance_timeline(events: &[TraceEvent], limit: usize) -> String {
                 row.cold_total = boot + import + download + load;
             }
             EventKind::ExecStart {
-                component, instance, ..
+                component,
+                instance,
+                ..
             } => rows.entry((component, instance)).or_default().execs += 1,
             EventKind::InstanceCrash {
-                component, instance, ..
+                component,
+                instance,
+                ..
             } => rows.entry((component, instance)).or_default().crashed = true,
             EventKind::InstanceReclaim {
-                component, instance, ..
+                component,
+                instance,
+                ..
             } => {
                 rows.entry((component, instance)).or_default().reclaimed = Some(ev.at);
             }

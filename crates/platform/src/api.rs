@@ -172,6 +172,19 @@ impl Platform {
         }
     }
 
+    /// Pre-sizes response buffers, request queues, and instance slabs for a
+    /// run expected to carry about `requests` invocations. Purely a
+    /// capacity hint: reserving never changes behaviour, only removes
+    /// reallocation from the serving hot path.
+    pub fn reserve(&mut self, requests: usize) {
+        match self {
+            Platform::Serverless(p) => p.reserve(requests),
+            Platform::ManagedMl(p) => p.reserve(requests),
+            Platform::Vm(p) => p.reserve(requests),
+            Platform::Hybrid(p) => p.reserve(requests),
+        }
+    }
+
     /// One-time startup (pre-warming, billing spans, scaler loops).
     /// `horizon` is the end of the workload; platforms with periodic
     /// internal events stop self-scheduling past it.

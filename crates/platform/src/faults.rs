@@ -191,7 +191,11 @@ impl FaultPlan {
             }
         }
         for w in &self.outages {
-            if !w.start_s.is_finite() || w.start_s < 0.0 || !w.duration_s.is_finite() || w.duration_s <= 0.0 {
+            if !w.start_s.is_finite()
+                || w.start_s < 0.0
+                || !w.duration_s.is_finite()
+                || w.duration_s <= 0.0
+            {
                 return Err(FaultPlanError::BadOutage(*w));
             }
         }
@@ -321,9 +325,8 @@ impl FaultInjector {
     pub fn storage_penalty(&mut self, base: SimDuration) -> (SimDuration, bool) {
         let mut extra = SimDuration::ZERO;
         if self.plan.storage_slowdown > 1.0 {
-            extra += SimDuration::from_secs_f64(
-                base.as_secs_f64() * (self.plan.storage_slowdown - 1.0),
-            );
+            extra +=
+                SimDuration::from_secs_f64(base.as_secs_f64() * (self.plan.storage_slowdown - 1.0));
         }
         let stalled = self.stall > SimDuration::ZERO && self.fire(self.plan.storage_stall_chance);
         if stalled {
@@ -341,7 +344,9 @@ impl FaultInjector {
             return Some(FaultKind::Outage);
         }
         if let Some(t) = self.plan.throttle {
-            let dt = now.saturating_duration_since(self.refilled_at).as_secs_f64();
+            let dt = now
+                .saturating_duration_since(self.refilled_at)
+                .as_secs_f64();
             self.tokens = (self.tokens + dt * t.rate_per_sec).min(t.burst);
             self.refilled_at = now;
             if self.tokens < 1.0 {
@@ -567,8 +572,7 @@ mod tests {
         assert_eq!(plan.packet_loss, 0.1);
         assert_eq!(plan.storage_slowdown, 1.0);
         assert!(!plan.is_empty());
-        let back: FaultPlan =
-            serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+        let back: FaultPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
         assert_eq!(back, plan);
         let empty: FaultPlan = serde_json::from_str("{}").unwrap();
         assert!(empty.is_empty());

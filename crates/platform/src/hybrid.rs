@@ -58,6 +58,13 @@ impl HybridPlatform {
         }
     }
 
+    /// Pre-sizes both children for a run expected to carry about
+    /// `requests` invocations (each may see any share of the spillover).
+    pub fn reserve(&mut self, requests: usize) {
+        self.vm.reserve(requests);
+        self.serverless.reserve(requests);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &HybridConfig {
         &self.cfg
@@ -84,7 +91,8 @@ impl HybridPlatform {
         sched: &mut PlatformScheduler<'_>,
         f: impl FnOnce(&mut VmServer, &mut ServerlessPlatform, &mut PlatformScheduler<'_>) -> R,
     ) -> R {
-        let mut inner = PlatformScheduler::with_recorder(sched.now(), &mut self.buf, sched.recorder());
+        let mut inner =
+            PlatformScheduler::with_recorder(sched.now(), &mut self.buf, sched.recorder());
         let r = f(&mut self.vm, &mut self.serverless, &mut inner);
         for (d, ev) in self.buf.drain(..) {
             let wrapped = match ev {

@@ -1,0 +1,148 @@
+//! A slab map for monotonically allocated instance ids.
+//!
+//! Every platform simulator hands out instance ids from a counter that only
+//! ever increases, so a `Vec<Option<T>>` indexed by id gives O(1)
+//! insert/lookup/remove with no per-entry allocation — the `BTreeMap`s it
+//! replaces allocated tree nodes on the scale-out hot path. Iteration is in
+//! ascending id order, exactly matching `BTreeMap`'s, which is what keeps
+//! instance-selection (and therefore every byte-identity determinism pin)
+//! unchanged by the swap.
+//!
+//! Slots of removed instances are left as `None`: ids are never reused, and
+//! the vector's length is bounded by the number of instances ever spawned,
+//! which a run already pays for in its billing ledger.
+
+/// Map from a monotonically assigned `u64` id to `T`; see module docs.
+#[derive(Debug, Clone, Default)]
+pub struct IdMap<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> IdMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IdMap {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Pre-allocates room for ids `0..additional` beyond the current high
+    /// water mark.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts `value` at `id`, returning the previous occupant if any.
+    pub fn insert(&mut self, id: u64, value: T) -> Option<T> {
+        let idx = id as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry at `id`.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let old = self.slots.get_mut(id as usize)?.take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Shared access to the entry at `id`.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        self.slots.get(id as usize)?.as_ref()
+    }
+
+    /// Exclusive access to the entry at `id`.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        self.slots.get_mut(id as usize)?.as_mut()
+    }
+
+    /// True when `id` is live.
+    pub fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Live `(id, &value)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u64, v)))
+    }
+}
+
+impl<T> std::ops::Index<u64> for IdMap<T> {
+    type Output = T;
+    fn index(&self, id: u64) -> &T {
+        self.get(id).expect("no entry for instance id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = IdMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(0, "a"), None);
+        assert_eq!(m.insert(2, "c"), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0), Some(&"a"));
+        assert_eq!(m.get(1), None);
+        assert!(m.contains(2));
+        assert_eq!(m.remove(0), Some("a"));
+        assert_eq!(m.remove(0), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[2], "c");
+    }
+
+    #[test]
+    fn iterates_in_ascending_id_order_with_gaps() {
+        let mut m = IdMap::new();
+        for id in [3u64, 0, 7, 5] {
+            m.insert(id, id * 10);
+        }
+        m.remove(5);
+        let seen: Vec<(u64, u64)> = m.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (3, 30), (7, 70)]);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old_value() {
+        let mut m = IdMap::new();
+        m.insert(4, 1);
+        assert_eq!(m.insert(4, 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[4], 2);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut m = IdMap::new();
+        m.insert(1, 5);
+        *m.get_mut(1).unwrap() += 1;
+        assert_eq!(m[1], 6);
+        assert_eq!(m.get_mut(9), None);
+    }
+}

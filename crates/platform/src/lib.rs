@@ -52,6 +52,7 @@ pub mod api;
 pub mod billing;
 pub mod faults;
 pub mod hybrid;
+pub mod idmap;
 pub mod managedml;
 pub mod network;
 pub mod presets;
@@ -65,6 +66,7 @@ pub use api::{Platform, PlatformEvent, PlatformReport, PlatformScheduler};
 pub use billing::{CostBreakdown, InstancePricing, Money, ServerlessPricing};
 pub use faults::{FaultInjector, FaultPlan, FaultPlanError, OutageWindow, ThrottleSpec};
 pub use hybrid::{HybridConfig, HybridPlatform, SpilloverPolicy};
+pub use idmap::IdMap;
 pub use managedml::{ManagedMlConfig, ManagedMlParams, ManagedMlPlatform};
 pub use network::NetworkProfile;
 pub use presets::{PlatformKind, LAMBDA_TMP_LIMIT_MB};

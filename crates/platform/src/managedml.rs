@@ -18,12 +18,13 @@
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
 use crate::faults::{FaultInjector, FaultPlan};
+use crate::idmap::IdMap;
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
 use slsb_obs::{Component, EventKind, FaultKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Trace-event component tag for this platform.
 const COMPONENT: Component = Component::ManagedMl;
@@ -183,8 +184,8 @@ struct MmlInstance {
 pub struct ManagedMlPlatform {
     cfg: ManagedMlConfig,
     rng: SimRng,
-    ready: BTreeMap<u64, MmlInstance>,
-    provisioning: BTreeMap<u64, SimTime>,
+    ready: IdMap<MmlInstance>,
+    provisioning: IdMap<SimTime>,
     queue: VecDeque<(ServingRequest, SimTime)>,
     next_id: u64,
     window_arrivals: u64,
@@ -207,8 +208,8 @@ impl ManagedMlPlatform {
         ManagedMlPlatform {
             rng: seed.substream("managedml").rng(),
             cfg,
-            ready: BTreeMap::new(),
-            provisioning: BTreeMap::new(),
+            ready: IdMap::new(),
+            provisioning: IdMap::new(),
             queue: VecDeque::new(),
             next_id: 0,
             window_arrivals: 0,
@@ -222,6 +223,16 @@ impl ManagedMlPlatform {
             finalized: false,
             faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Pre-sizes the response buffer, request queue, and instance slabs
+    /// for a run expected to carry about `requests` invocations.
+    pub fn reserve(&mut self, requests: usize) {
+        self.responses.reserve(requests);
+        let concurrent = requests.min(4096);
+        self.queue.reserve(concurrent);
+        self.ready.reserve(concurrent.min(256));
+        self.provisioning.reserve(concurrent.min(256));
     }
 
     /// The endpoint configuration.
@@ -328,7 +339,7 @@ impl ManagedMlPlatform {
     pub fn handle(&mut self, sched: &mut PlatformScheduler<'_>, ev: ManagedMlEvent) {
         match ev {
             ManagedMlEvent::InstanceUp(id) => {
-                if let Some(_ready_at) = self.provisioning.remove(&id) {
+                if let Some(_ready_at) = self.provisioning.remove(id) {
                     self.ready.insert(id, MmlInstance { busy: false });
                     self.gauge.record_delta(sched.now(), 1);
                     sched.emit(|| EventKind::InstanceWarm {
@@ -339,7 +350,7 @@ impl ManagedMlPlatform {
                 }
             }
             ManagedMlEvent::HandlerDone(id) => {
-                if let Some(inst) = self.ready.get_mut(&id) {
+                if let Some(inst) = self.ready.get_mut(id) {
                     inst.busy = false;
                 }
                 self.dispatch(sched);
@@ -350,7 +361,7 @@ impl ManagedMlPlatform {
 
     fn dispatch(&mut self, sched: &mut PlatformScheduler<'_>) {
         while !self.queue.is_empty() {
-            let Some((&id, _)) = self.ready.iter().find(|(_, i)| !i.busy) else {
+            let Some((id, _)) = self.ready.iter().find(|(_, i)| !i.busy) else {
                 return;
             };
             let (req, enqueued) = self.queue.pop_front().expect("queue non-empty");
@@ -361,7 +372,7 @@ impl ManagedMlPlatform {
             );
             let service = self.cfg.params.request_overhead + predict;
             self.busy_seconds += service.as_secs_f64();
-            self.ready.get_mut(&id).expect("instance exists").busy = true;
+            self.ready.get_mut(id).expect("instance exists").busy = true;
             let done_at = sched.now() + service;
             // A mid-execution crash on a managed endpoint fails the request
             // but not the instance: the provider's health check restarts the
@@ -454,8 +465,9 @@ impl ManagedMlPlatform {
             && self.ready.len() as u32 > p.min_instances
         {
             // Retire one idle instance per tick.
-            if let Some((&id, _)) = self.ready.iter().find(|(_, i)| !i.busy) {
-                self.ready.remove(&id);
+            let idle = self.ready.iter().find(|(_, i)| !i.busy).map(|(id, _)| id);
+            if let Some(id) = idle {
+                self.ready.remove(id);
                 self.meter.close(id, sched.now());
                 self.gauge.record_delta(sched.now(), -1);
                 sched.emit(|| EventKind::InstanceReclaim {

@@ -25,15 +25,14 @@
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, ServerlessMeter, ServerlessPricing};
 use crate::faults::{FaultInjector, FaultPlan};
+use crate::idmap::IdMap;
 use crate::provider::CloudProvider;
-use crate::request::{
-    ColdStartBreakdown, FailureReason, Outcome, ServingRequest, ServingResponse,
-};
+use crate::request::{ColdStartBreakdown, FailureReason, Outcome, ServingRequest, ServingResponse};
 use crate::storage::StorageProfile;
 use slsb_model::{first_predict_time, predict_time, CpuAllocation, ModelProfile, RuntimeProfile};
 use slsb_obs::{Component, EventKind, FaultKind, SpawnCause};
 use slsb_sim::{GaugeSeries, Seed, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The component tag this simulator stamps on trace events.
 const COMPONENT: Component = Component::Serverless;
@@ -270,7 +269,7 @@ pub struct ServerlessPlatform {
     cfg: ServerlessConfig,
     rng: SimRng,
     faults: FaultInjector,
-    instances: BTreeMap<u64, Instance>,
+    instances: IdMap<Instance>,
     /// Idle instance ids, most-recently-used last (we pop from the back, so
     /// the pool shrinks naturally and keep-alive reclaims the cold tail).
     idle: Vec<u64>,
@@ -302,7 +301,7 @@ impl ServerlessPlatform {
             rng: seed.substream("serverless").rng(),
             faults: FaultInjector::disabled(),
             cfg,
-            instances: BTreeMap::new(),
+            instances: IdMap::new(),
             idle: Vec::new(),
             pending: VecDeque::new(),
             starting_demanded: 0,
@@ -321,6 +320,18 @@ impl ServerlessPlatform {
     /// The deployment configuration.
     pub fn config(&self) -> &ServerlessConfig {
         &self.cfg
+    }
+
+    /// Pre-sizes the response buffer, pending queue, and instance slab for
+    /// a run expected to carry about `requests` invocations. The queues and
+    /// the fleet track concurrency rather than total volume, so those
+    /// reservations are capped.
+    pub fn reserve(&mut self, requests: usize) {
+        self.responses.reserve(requests);
+        let concurrent = requests.min(4096);
+        self.pending.reserve(concurrent);
+        self.instances.reserve(concurrent);
+        self.idle.reserve(concurrent);
     }
 
     /// Installs a fault plan, replacing any previous one. An empty plan
@@ -503,7 +514,7 @@ impl ServerlessPlatform {
         if let Some(pos) = self
             .idle
             .iter()
-            .rposition(|id| self.instances[id].provisioned)
+            .rposition(|id| self.instances[*id].provisioned)
         {
             return Some(self.idle.remove(pos));
         }
@@ -519,14 +530,14 @@ impl ServerlessPlatform {
     ) {
         let predict = self.warm_predict(req.inferences);
         let handler = self.cfg.params.handler_overhead + predict;
-        let provisioned = self.instances[&id].provisioned;
+        let provisioned = self.instances[id].provisioned;
         // An injected mid-execution crash kills the handler after its
         // would-be service time: the work (and billing) happens, the
         // response never leaves, and the environment dies with it.
         let crashed = self.faults.crash_mid_exec();
         self.meter.record_invocation(handler, provisioned);
         self.busy_seconds += handler.as_secs_f64();
-        let inst = self.instances.get_mut(&id).expect("warm instance exists");
+        let inst = self.instances.get_mut(id).expect("warm instance exists");
         inst.state = InstanceState::Busy;
         inst.poisoned = crashed;
         if crashed {
@@ -662,7 +673,7 @@ impl ServerlessPlatform {
     fn on_ready(&mut self, sched: &mut PlatformScheduler<'_>, id: u64) {
         let inst = self
             .instances
-            .get_mut(&id)
+            .get_mut(id)
             .expect("starting instance exists");
         let demanded = inst.demanded;
         let InstanceState::Starting { breakdown } =
@@ -680,7 +691,7 @@ impl ServerlessPlatform {
             // The sandbox died during initialization; the platform replaces
             // it. Nothing is billed (the handler never ran) and any pending
             // invocation keeps waiting for the replacement.
-            self.instances.remove(&id);
+            self.instances.remove(id);
             self.gauge.record_delta(sched.now(), -1);
             if fault_crash {
                 sched.emit(|| EventKind::Fault {
@@ -715,7 +726,7 @@ impl ServerlessPlatform {
                 let crashed = self.faults.crash_mid_exec();
                 self.meter.record_invocation(handler, false);
                 self.busy_seconds += handler.as_secs_f64();
-                let inst = self.instances.get_mut(&id).expect("instance exists");
+                let inst = self.instances.get_mut(id).expect("instance exists");
                 inst.warm = true;
                 inst.poisoned = crashed;
                 if crashed {
@@ -766,7 +777,7 @@ impl ServerlessPlatform {
                 let lazy = first_predict_time(&self.cfg.model, &self.cfg.runtime, vcpus)
                     .mul_f64(p.predict_factor);
                 let warmup = breakdown.download + breakdown.load + lazy;
-                let inst = self.instances.get_mut(&id).expect("instance exists");
+                let inst = self.instances.get_mut(id).expect("instance exists");
                 inst.warm = true;
                 sched.emit(|| EventKind::InstanceWarm {
                     component: COMPONENT,
@@ -782,12 +793,12 @@ impl ServerlessPlatform {
 
     fn on_done(&mut self, sched: &mut PlatformScheduler<'_>, id: u64) {
         let now = sched.now();
-        let inst = self.instances.get_mut(&id).expect("busy instance exists");
+        let inst = self.instances.get_mut(id).expect("busy instance exists");
         debug_assert!(matches!(inst.state, InstanceState::Busy));
         if inst.poisoned {
             // The handler crashed mid-execution: the environment is gone.
             // If demand is still waiting, replace it like a boot crash.
-            self.instances.remove(&id);
+            self.instances.remove(id);
             self.gauge.record_delta(now, -1);
             sched.emit(|| EventKind::InstanceCrash {
                 component: COMPONENT,
@@ -815,14 +826,14 @@ impl ServerlessPlatform {
     }
 
     fn on_reclaim_check(&mut self, sched: &mut PlatformScheduler<'_>, id: u64) {
-        let Some(inst) = self.instances.get(&id) else {
+        let Some(inst) = self.instances.get(id) else {
             return; // already reclaimed
         };
         if inst.provisioned || !matches!(inst.state, InstanceState::Idle) {
             return;
         }
         if sched.now().saturating_duration_since(inst.last_used) >= self.cfg.params.keep_alive {
-            self.instances.remove(&id);
+            self.instances.remove(id);
             self.idle.retain(|&i| i != id);
             self.gauge.record_delta(sched.now(), -1);
             sched.emit(|| EventKind::InstanceReclaim {

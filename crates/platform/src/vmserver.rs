@@ -162,6 +162,13 @@ impl VmServer {
         }
     }
 
+    /// Pre-sizes the response buffer and request queue for a run expected
+    /// to carry about `requests` invocations.
+    pub fn reserve(&mut self, requests: usize) {
+        self.responses.reserve(requests);
+        self.queue.reserve(requests.min(4096));
+    }
+
     /// The server configuration.
     pub fn config(&self) -> &VmServerConfig {
         &self.cfg

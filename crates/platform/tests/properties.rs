@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::api::test_harness::PlatformHarness;
 use slsb_platform::{
-    CloudProvider, FaultPlan, HybridConfig, ManagedMlConfig, Outcome, OutageWindow, RequestId,
+    CloudProvider, FaultPlan, HybridConfig, ManagedMlConfig, OutageWindow, Outcome, RequestId,
     ServerlessConfig, ServingRequest, SpilloverPolicy, ThrottleSpec, VmServerConfig,
 };
 use slsb_sim::{Seed, SimTime};
@@ -335,7 +335,10 @@ fn serverless_faulted_run(
     times: &[f64],
     plan: &FaultPlan,
     seed: u64,
-) -> (Vec<slsb_platform::ServingResponse>, slsb_platform::PlatformReport) {
+) -> (
+    Vec<slsb_platform::ServingResponse>,
+    slsb_platform::PlatformReport,
+) {
     let cfg = ServerlessConfig::new(
         CloudProvider::Aws,
         ModelKind::MobileNet.profile(),

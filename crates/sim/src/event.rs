@@ -2,19 +2,27 @@
 //!
 //! The kernel is deliberately small: a [`System`] owns all domain state and
 //! handles its own event alphabet `System::Ev`; the [`Engine`] owns the
-//! clock and the pending-event heap and repeatedly hands the earliest event
+//! clock and the pending-event queue and repeatedly hands the earliest event
 //! back to the system. Ties in time are broken by insertion order (FIFO),
 //! which both matches physical intuition and keeps runs deterministic.
+//!
+//! Two interchangeable kernels implement the queue (see [`Kernel`]): the
+//! default hierarchical timer wheel ([`crate::wheel`]) with O(1) amortized
+//! schedule/pop for near-future events, and the original binary heap, kept
+//! as the reference model for differential tests and the perf baseline.
+//! Both deliver the exact same `(time, sequence)` order, so switching
+//! kernels never changes a simulation's results, only its speed.
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A pending event: fire `ev` at instant `at`.
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    ev: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) ev: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -38,13 +46,42 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which scheduler implementation backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// Hierarchical timer wheel: O(1) amortized schedule/pop (the default).
+    #[default]
+    Wheel,
+    /// The original `BinaryHeap`: O(log n) per operation. Retained as the
+    /// reference model for equivalence tests and as the benchmark baseline.
+    Heap,
+}
+
+impl Kernel {
+    /// Stable lowercase name, used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Wheel => "wheel",
+            Kernel::Heap => "heap",
+        }
+    }
+}
+
+// The wheel is boxed: its inline footprint (ring pointer, occupancy
+// bitmap, cursors) dwarfs the heap variant's, and `EventQueue` lives
+// inside `Engine` values that move around.
+enum Store<E> {
+    Wheel(Box<TimerWheel<E>>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// Priority queue of future events plus the current virtual time.
 ///
 /// Systems receive `&mut EventQueue` while handling an event so they can
 /// schedule follow-ups; scheduling into the past is a causality violation
 /// and panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    store: Store<E>,
     seq: u64,
     now: SimTime,
 }
@@ -58,10 +95,38 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at the epoch.
     pub fn new() -> Self {
+        Self::with_kernel(Kernel::Wheel)
+    }
+
+    /// An empty queue pre-sized for roughly `cap` concurrently pending
+    /// events (e.g. a scenario's expected request count).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_kernel_and_capacity(Kernel::Wheel, cap)
+    }
+
+    /// An empty queue backed by the chosen [`Kernel`].
+    pub fn with_kernel(kernel: Kernel) -> Self {
+        Self::with_kernel_and_capacity(kernel, 0)
+    }
+
+    /// [`EventQueue::with_kernel`] with a capacity hint.
+    pub fn with_kernel_and_capacity(kernel: Kernel, cap: usize) -> Self {
+        let store = match kernel {
+            Kernel::Wheel => Store::Wheel(Box::new(TimerWheel::with_capacity(cap))),
+            Kernel::Heap => Store::Heap(BinaryHeap::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            store,
             seq: 0,
             now: SimTime::ZERO,
+        }
+    }
+
+    /// Which kernel backs this queue.
+    pub fn kernel(&self) -> Kernel {
+        match self.store {
+            Store::Wheel(_) => Kernel::Wheel,
+            Store::Heap(_) => Kernel::Heap,
         }
     }
 
@@ -72,12 +137,15 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.store {
+            Store::Wheel(w) => w.len(),
+            Store::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `ev` to fire at absolute instant `at`.
@@ -90,12 +158,16 @@ impl<E> EventQueue<E> {
             "causality violation: scheduling at {at} but now is {now}",
             now = self.now
         );
-        self.heap.push(Scheduled {
+        let s = Scheduled {
             at,
             seq: self.seq,
             ev,
-        });
+        };
         self.seq += 1;
+        match &mut self.store {
+            Store::Wheel(w) => w.insert(s),
+            Store::Heap(h) => h.push(s),
+        }
     }
 
     /// Schedules `ev` to fire `delay` after the current time.
@@ -112,7 +184,31 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        let s = match &mut self.store {
+            Store::Wheel(w) => w.pop()?,
+            Store::Heap(h) => h.pop()?,
+        };
+        debug_assert!(s.at >= self.now, "event queue went back in time");
+        self.now = s.at;
+        Some((s.at, s.ev))
+    }
+
+    /// Pops the earliest event if it fires at or before `horizon`,
+    /// advancing the clock to its timestamp; returns `None` (clock
+    /// untouched) when the queue is empty or the next event is later.
+    /// One kernel operation per delivered event — this is the hot path of
+    /// [`Engine::run_until`].
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let s = match &mut self.store {
+            Store::Wheel(w) => w.pop_at_or_before(horizon)?,
+            Store::Heap(h) => {
+                // The heap keeps the historical peek-then-pop shape.
+                if h.peek().is_none_or(|s| s.at > horizon) {
+                    return None;
+                }
+                h.pop().expect("peeked event vanished")
+            }
+        };
         debug_assert!(s.at >= self.now, "event queue went back in time");
         self.now = s.at;
         Some((s.at, s.ev))
@@ -120,7 +216,10 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.store {
+            Store::Wheel(w) => w.peek(),
+            Store::Heap(h) => h.peek().map(|s| s.at),
+        }
     }
 
     /// Advances the clock to `t` without delivering events — used to close
@@ -164,8 +263,14 @@ pub struct Engine<S: System> {
 impl<S: System> Engine<S> {
     /// Wraps `system` with an empty queue at the epoch.
     pub fn new(system: S) -> Self {
+        Self::with_queue(system, EventQueue::new())
+    }
+
+    /// Wraps `system` around a caller-built queue — the way to pick a
+    /// [`Kernel`] or a capacity hint for the run.
+    pub fn with_queue(system: S, queue: EventQueue<S::Ev>) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue,
             system,
             events_processed: 0,
             observer: None,
@@ -206,11 +311,7 @@ impl<S: System> Engine<S> {
     /// number of events delivered by this call.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut delivered = 0;
-        while let Some(at) = self.queue.peek_time() {
-            if at > horizon {
-                break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+        while let Some((at, ev)) = self.queue.pop_at_or_before(horizon) {
             if let Some(obs) = self.observer.as_mut() {
                 obs(at, &ev);
             }
@@ -230,6 +331,8 @@ impl<S: System> Engine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const KERNELS: [Kernel; 2] = [Kernel::Wheel, Kernel::Heap];
 
     struct Recorder {
         seen: Vec<(SimTime, u32)>,
@@ -255,25 +358,29 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order() {
-        let mut eng = Engine::new(recorder());
-        eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
-        eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
-        eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
-        assert_eq!(eng.run_to_completion(), 3);
-        let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for kernel in KERNELS {
+            let mut eng = Engine::with_queue(recorder(), EventQueue::with_kernel(kernel));
+            eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
+            eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
+            eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
+            assert_eq!(eng.run_to_completion(), 3);
+            let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
+            assert_eq!(order, vec![1, 2, 3], "{}", kernel.name());
+        }
     }
 
     #[test]
     fn ties_pop_fifo() {
-        let mut eng = Engine::new(recorder());
-        let t = SimTime::from_secs_f64(1.0);
-        for i in 0..100 {
-            eng.queue.schedule_at(t, i);
+        for kernel in KERNELS {
+            let mut eng = Engine::with_queue(recorder(), EventQueue::with_kernel(kernel));
+            let t = SimTime::from_secs_f64(1.0);
+            for i in 0..100 {
+                eng.queue.schedule_at(t, i);
+            }
+            eng.run_to_completion();
+            let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{}", kernel.name());
         }
-        eng.run_to_completion();
-        let order: Vec<u32> = eng.system.seen.iter().map(|&(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -290,19 +397,30 @@ mod tests {
 
     #[test]
     fn run_until_delivers_events_at_horizon_inclusive() {
-        let mut eng = Engine::new(recorder());
-        eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
-        eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
-        eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
-        assert_eq!(eng.run_until(SimTime::from_secs_f64(2.0)), 2);
-        assert_eq!(eng.queue.len(), 1);
-        assert_eq!(eng.now(), SimTime::from_secs_f64(2.0));
+        for kernel in KERNELS {
+            let mut eng = Engine::with_queue(recorder(), EventQueue::with_kernel(kernel));
+            eng.queue.schedule_at(SimTime::from_secs_f64(1.0), 1);
+            eng.queue.schedule_at(SimTime::from_secs_f64(2.0), 2);
+            eng.queue.schedule_at(SimTime::from_secs_f64(3.0), 3);
+            assert_eq!(eng.run_until(SimTime::from_secs_f64(2.0)), 2);
+            assert_eq!(eng.queue.len(), 1);
+            assert_eq!(eng.now(), SimTime::from_secs_f64(2.0));
+        }
     }
 
     #[test]
     #[should_panic(expected = "causality violation")]
     fn scheduling_in_the_past_panics() {
         let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs_f64(5.0), 0);
+        q.pop();
+        q.schedule_at(SimTime::from_secs_f64(1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_the_past_panics_on_heap_kernel() {
+        let mut q: EventQueue<u32> = EventQueue::with_kernel(Kernel::Heap);
         q.schedule_at(SimTime::from_secs_f64(5.0), 0);
         q.pop();
         q.schedule_at(SimTime::from_secs_f64(1.0), 1);
@@ -322,11 +440,14 @@ mod tests {
                 }
             }
         }
-        let mut eng = Engine::new(Inject { seen: Vec::new() });
-        eng.queue.schedule_at(SimTime::ZERO, 0);
-        eng.queue.schedule_at(SimTime::ZERO, 1);
-        eng.run_to_completion();
-        assert_eq!(eng.system.seen, vec![0, 1, 99]);
+        for kernel in KERNELS {
+            let mut eng =
+                Engine::with_queue(Inject { seen: Vec::new() }, EventQueue::with_kernel(kernel));
+            eng.queue.schedule_at(SimTime::ZERO, 0);
+            eng.queue.schedule_at(SimTime::ZERO, 1);
+            eng.run_to_completion();
+            assert_eq!(eng.system.seen, vec![0, 1, 99], "{}", kernel.name());
+        }
     }
 
     #[test]
@@ -376,5 +497,143 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.kernel(), Kernel::Wheel);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(10_000);
+        q.schedule_at(SimTime::from_micros(5), 1);
+        q.schedule_at(SimTime::from_micros(3), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(3), 0)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    // ----------------------------------------------------- wheel-specific
+
+    /// One block of the wheel spans 2^22 µs; events past that go through
+    /// the far overflow. Exercise both sides plus the exact boundary.
+    #[test]
+    fn far_future_events_interleave_with_near_ones() {
+        let block = 1u64 << 22;
+        let times = [
+            0,
+            1,
+            1023,
+            1024,
+            block - 1,
+            block,
+            block + 1,
+            3 * block,
+            3 * block + 512,
+            600_000_000, // a keep-alive-style reclaim, many blocks out
+        ];
+        let mut q: EventQueue<usize> = EventQueue::new();
+        // Schedule in a scrambled order.
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, i)) = q.pop() {
+            popped.push((at.as_micros(), i));
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        // Scheduled in reverse order, so equal times pop in reverse index
+        // order (FIFO by insertion).
+        expect.sort_by_key(|&(t, i)| (t, std::cmp::Reverse(i)));
+        assert_eq!(popped, expect);
+    }
+
+    /// After the cursor drains a bucket, scheduling back into that bucket
+    /// (legal while `now` sits inside it) must still deliver in order.
+    #[test]
+    fn rescheduling_into_a_drained_bucket_keeps_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(5_000_000), 0);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5_000_000), 0)));
+        // Same 1.024 ms bucket as the popped event: the cursor has moved
+        // past it, so this lands in the ready spill.
+        q.schedule_at(SimTime::from_micros(5_000_400), 2);
+        q.schedule_at(SimTime::from_micros(5_000_300), 1);
+        q.schedule_at(SimTime::from_micros(5_500_000), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5_000_300), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5_000_400), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5_500_000), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_the_horizon() {
+        for kernel in KERNELS {
+            let mut q: EventQueue<u32> = EventQueue::with_kernel(kernel);
+            q.schedule_at(SimTime::from_micros(10), 0);
+            q.schedule_at(SimTime::from_micros(20), 1);
+            let h = SimTime::from_micros(15);
+            assert_eq!(q.pop_at_or_before(h), Some((SimTime::from_micros(10), 0)));
+            assert_eq!(q.pop_at_or_before(h), None, "{}", kernel.name());
+            assert_eq!(q.now(), SimTime::from_micros(10));
+            assert_eq!(q.len(), 1);
+            // A later horizon releases the held event.
+            assert_eq!(
+                q.pop_at_or_before(SimTime::from_micros(20)),
+                Some((SimTime::from_micros(20), 1))
+            );
+        }
+    }
+
+    #[test]
+    fn advance_to_works_after_a_refused_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), 0);
+        q.schedule_at(SimTime::from_secs_f64(700.0), 1);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(50)),
+            Some((SimTime::from_micros(10), 0))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(50)), None);
+        q.advance_to(SimTime::from_micros(50));
+        assert_eq!(q.now(), SimTime::from_micros(50));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(700.0)));
+    }
+
+    /// Deterministic pseudo-random stress: the wheel and the heap must
+    /// deliver identical sequences, block boundaries and all.
+    #[test]
+    fn wheel_matches_heap_on_scrambled_schedules() {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: EventQueue<u32> = EventQueue::with_kernel(Kernel::Heap);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut pending = 0u32;
+        for i in 0..5_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix of same-instant, near, block-scale, and far deltas.
+            let delta = match x % 4 {
+                0 => 0,
+                1 => x % 1_024,
+                2 => x % (1 << 22),
+                _ => x % (1 << 24),
+            };
+            let at = wheel.now() + SimDuration::from_micros(delta);
+            wheel.schedule_at(at, i);
+            heap.schedule_at(at, i);
+            pending += 1;
+            if x.is_multiple_of(3) {
+                while pending > x as u32 % 8 {
+                    assert_eq!(wheel.pop(), heap.pop());
+                    pending -= 1;
+                }
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -39,8 +39,9 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+mod wheel;
 
-pub use event::{Engine, EventQueue, Observer, System};
+pub use event::{Engine, EventQueue, Kernel, Observer, System};
 pub use rng::{Seed, SimRng};
 pub use stats::{Accumulator, GaugeSeries, Histogram, SampleSet, TimeSeries};
 pub use time::{SimDuration, SimTime};

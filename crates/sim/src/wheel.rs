@@ -1,0 +1,222 @@
+//! Hierarchical timer wheel (calendar queue) — the default kernel behind
+//! [`EventQueue`](crate::event::EventQueue).
+//!
+//! Serving simulations schedule almost everything into the near future
+//! (service completions, network hops, scaler ticks), with a thin tail of
+//! far-future events (keep-alive reclaims, outage windows). A binary heap
+//! pays O(log n) and a cache miss per operation regardless; the wheel makes
+//! the common case O(1) amortized:
+//!
+//! - **Near ring**: one block of [`BUCKETS`] buckets, each
+//!   2^[`BUCKET_SHIFT`] µs wide (1.024 ms), covering ~4.19 s ahead of the
+//!   drain cursor. Scheduling is an index computation plus a `Vec::push`.
+//! - **Far overflow**: events beyond the current block land in a
+//!   `BTreeMap` keyed by block index; whole blocks are pulled forward and
+//!   scattered into the ring when the cursor reaches them.
+//! - **Ready spill**: the next non-empty bucket is drained into a single
+//!   sorted buffer (`ready`, newest-first so popping from the back is
+//!   oldest-first). Events scheduled behind the cursor — `schedule_now`
+//!   and short follow-ups inside an already-drained bucket — are
+//!   order-inserted here, which is what preserves the exact
+//!   `(time, sequence)` FIFO contract a heap provides.
+//!
+//! Bucket `Vec`s are recycled rather than freed: draining swaps a bucket
+//! with the (empty) ready buffer, and far blocks return to a spare pool
+//! after scattering, so steady-state operation allocates nothing.
+
+use crate::event::Scheduled;
+use crate::time::SimTime;
+use std::cmp;
+use std::collections::BTreeMap;
+use std::mem;
+
+/// log2 of the bucket width in microseconds (1.024 ms per bucket).
+pub(crate) const BUCKET_SHIFT: u32 = 10;
+/// log2 of the bucket count per block.
+const BLOCK_BITS: u32 = 12;
+/// Buckets per block; one block spans ~4.19 s.
+pub(crate) const BUCKETS: usize = 1 << BLOCK_BITS;
+const SLOT_MASK: u64 = (BUCKETS as u64) - 1;
+const WORDS: usize = BUCKETS / 64;
+
+pub(crate) struct TimerWheel<E> {
+    /// Drained-but-undelivered events, sorted descending by `(at, seq)` so
+    /// the earliest is at the back. Also absorbs behind-cursor inserts.
+    ready: Vec<Scheduled<E>>,
+    /// The current block of near-future buckets, indexed by `bucket & mask`.
+    ring: Box<[Vec<Scheduled<E>>]>,
+    /// Occupancy bitmap over `ring` (one bit per bucket).
+    occ: [u64; WORDS],
+    /// Absolute index of the next bucket the drain cursor will visit.
+    /// Invariant: every far block key is strictly greater than
+    /// `cur >> BLOCK_BITS`, and every ring bucket holds only events of the
+    /// cursor's block at slots `>= cur & mask`.
+    cur: u64,
+    /// Far-future events, grouped by block index, each group unsorted.
+    far: BTreeMap<u64, Vec<Scheduled<E>>>,
+    /// Recycled block vectors (capacity retained across reuse).
+    spare: Vec<Vec<Scheduled<E>>>,
+    len: usize,
+}
+
+impl<E> TimerWheel<E> {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        TimerWheel {
+            // `ready` cycles capacity with the ring buckets, so seeding it
+            // covers the largest burst bucket; simultaneous occupancy is far
+            // below total request count, hence the cap.
+            ready: Vec::with_capacity(cap.min(1024)),
+            ring: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+            cur: 0,
+            far: BTreeMap::new(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bucket(at: SimTime) -> u64 {
+        at.as_micros() >> BUCKET_SHIFT
+    }
+
+    pub(crate) fn insert(&mut self, s: Scheduled<E>) {
+        let b = Self::bucket(s.at);
+        self.len += 1;
+        if b < self.cur {
+            // The cursor already passed this bucket (the event lands at or
+            // just after `now`): order-insert into the ready spill so time
+            // order and FIFO ties survive.
+            let key = (s.at, s.seq);
+            let pos = self.ready.partition_point(|e| (e.at, e.seq) > key);
+            self.ready.insert(pos, s);
+        } else if b >> BLOCK_BITS == self.cur >> BLOCK_BITS {
+            let slot = (b & SLOT_MASK) as usize;
+            self.ring[slot].push(s);
+            self.occ[slot >> 6] |= 1 << (slot & 63);
+        } else {
+            let blk = b >> BLOCK_BITS;
+            match self.far.get_mut(&blk) {
+                Some(v) => v.push(s),
+                None => {
+                    let mut v = self.spare.pop().unwrap_or_default();
+                    v.push(s);
+                    self.far.insert(blk, v);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
+        loop {
+            if let Some(s) = self.ready.pop() {
+                self.len -= 1;
+                return Some(s);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    pub(crate) fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<Scheduled<E>> {
+        loop {
+            if let Some(s) = self.ready.last() {
+                if s.at > horizon {
+                    return None;
+                }
+                self.len -= 1;
+                return self.ready.pop();
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Timestamp of the earliest pending event without disturbing anything.
+    pub(crate) fn peek(&self) -> Option<SimTime> {
+        if let Some(s) = self.ready.last() {
+            return Some(s.at);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let start = (self.cur & SLOT_MASK) as usize;
+        if let Some(slot) = self.next_occupied(start) {
+            return self.ring[slot].iter().map(|s| s.at).min();
+        }
+        let (_, v) = self.far.first_key_value().expect("pending events exist");
+        v.iter().map(|s| s.at).min()
+    }
+
+    /// Moves the next non-empty bucket (or far block) toward `ready`.
+    /// Precondition: `ready` is empty and `len > 0`.
+    fn advance(&mut self) {
+        let start = (self.cur & SLOT_MASK) as usize;
+        if let Some(slot) = self.next_occupied(start) {
+            self.occ[slot >> 6] &= !(1 << (slot & 63));
+            // Swap instead of take: the bucket inherits `ready`'s old
+            // capacity, so allocations circulate instead of repeating.
+            mem::swap(&mut self.ring[slot], &mut self.ready);
+            self.ready
+                .sort_unstable_by_key(|s| cmp::Reverse((s.at, s.seq)));
+            self.cur = (self.cur & !SLOT_MASK) | slot as u64;
+            self.cur += 1;
+            if self.cur & SLOT_MASK == 0 {
+                // Crossed into the next block: its far events (if any) are
+                // now near-future and must be reachable through the ring.
+                self.pull_far_if_current();
+            }
+        } else {
+            // Block exhausted with nothing in the ring: jump the cursor to
+            // the earliest far block.
+            let (blk, v) = self.far.pop_first().expect("len > 0 but nothing pending");
+            self.cur = blk << BLOCK_BITS;
+            self.scatter(v);
+        }
+    }
+
+    fn pull_far_if_current(&mut self) {
+        let blk = self.cur >> BLOCK_BITS;
+        if self.far.first_key_value().is_some_and(|(&k, _)| k == blk) {
+            let v = self.far.pop_first().expect("first key checked").1;
+            self.scatter(v);
+        }
+    }
+
+    /// Distributes one far block's events into the ring. The cursor must
+    /// sit at the start of that block.
+    fn scatter(&mut self, mut v: Vec<Scheduled<E>>) {
+        for s in v.drain(..) {
+            let b = Self::bucket(s.at);
+            debug_assert_eq!(b >> BLOCK_BITS, self.cur >> BLOCK_BITS);
+            debug_assert!(b >= self.cur);
+            let slot = (b & SLOT_MASK) as usize;
+            self.ring[slot].push(s);
+            self.occ[slot >> 6] |= 1 << (slot & 63);
+        }
+        self.spare.push(v);
+    }
+
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let mut w = start >> 6;
+        let mut word = self.occ[w] & (!0u64 << (start & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == WORDS {
+                return None;
+            }
+            word = self.occ[w];
+        }
+    }
+}

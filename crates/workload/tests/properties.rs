@@ -131,5 +131,8 @@ fn regression_count_near_expectation_seed_77() {
         .sum::<f64>()
         / batch as f64;
     let e = s.expected_requests();
-    assert!((mean - e).abs() / e < 0.35, "mean {mean} vs expectation {e}");
+    assert!(
+        (mean - e).abs() / e < 0.35,
+        "mean {mean} vs expectation {e}"
+    );
 }

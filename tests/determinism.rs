@@ -9,7 +9,7 @@ use slsbench::core::{
 use slsbench::model::{ModelKind, RuntimeKind};
 use slsbench::obs::{trace_view, JsonlRecorder, MemoryRecorder, SpanOutcome};
 use slsbench::platform::{FaultPlan, PlatformKind};
-use slsbench::sim::{Seed, SimDuration};
+use slsbench::sim::{Kernel, Seed, SimDuration};
 use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
 
 fn trace(seed: Seed) -> WorkloadTrace {
@@ -189,6 +189,42 @@ fn recorded_traces_are_byte_identical() {
     let b = dump(seed);
     assert!(!a.is_empty());
     assert_eq!(a, b, "trace output must be deterministic");
+}
+
+#[test]
+fn timer_wheel_and_heap_kernels_are_byte_identical() {
+    // The timer-wheel kernel is a pure scheduling optimization: swapping
+    // it for the reference binary heap must not move a single byte of the
+    // recorded trace or the analysis, on any platform family.
+    let seed = Seed(42);
+    let tr = trace(seed);
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+        PlatformKind::GcpGpu,
+    ] {
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let dump = |kernel: Kernel| -> (Vec<u8>, String) {
+            let exec = Executor::default().with_kernel(kernel);
+            let mut buf = Vec::new();
+            let mut rec = JsonlRecorder::new(&mut buf);
+            let run = exec.run_recorded(&dep, &tr, seed, &mut rec).unwrap();
+            rec.finish().unwrap();
+            (buf, serde_json_digest(&analyze(&run)))
+        };
+        let (wheel_trace, wheel_analysis) = dump(Kernel::Wheel);
+        let (heap_trace, heap_analysis) = dump(Kernel::Heap);
+        assert!(!wheel_trace.is_empty());
+        assert_eq!(
+            wheel_trace, heap_trace,
+            "{platform:?}: kernels must record identical traces"
+        );
+        assert_eq!(
+            wheel_analysis, heap_analysis,
+            "{platform:?}: kernels must analyze identically"
+        );
+    }
 }
 
 #[test]

@@ -230,7 +230,10 @@ fn fault_matrix_preserves_accounting_in_every_cell() {
             match regime {
                 "crash" => {
                     assert!(a.faults > 0, "{cell}: crashes must fire");
-                    assert!(a.failed_crashed > 0, "{cell}: mid-exec crashes fail requests");
+                    assert!(
+                        a.failed_crashed > 0,
+                        "{cell}: mid-exec crashes fail requests"
+                    );
                 }
                 // Only platforms with a storage download path can stall;
                 // the VM family keeps its model resident.
@@ -239,7 +242,10 @@ fn fault_matrix_preserves_accounting_in_every_cell() {
                 }
                 "throttle" | "outage" => {
                     assert!(a.faults > 0, "{cell}: admission faults must fire");
-                    assert!(a.failed_throttled > 0, "{cell}: rejections surface as throttled");
+                    assert!(
+                        a.failed_throttled > 0,
+                        "{cell}: rejections surface as throttled"
+                    );
                     assert!(a.success_ratio < 1.0, "{cell}: throttling costs successes");
                 }
                 _ => {}
@@ -270,9 +276,10 @@ fn retries_recover_client_path_losses() {
             SEED,
         )
     };
-    let no_retry = Executor::default()
-        .with_faults(plan.clone())
-        .run_built(&dep, build(), &tr, SEED);
+    let no_retry =
+        Executor::default()
+            .with_faults(plan.clone())
+            .run_built(&dep, build(), &tr, SEED);
     let cfg = slsbench::core::ExecutorConfig {
         retry: slsbench::core::RetryPolicy::standard(),
         ..Default::default()

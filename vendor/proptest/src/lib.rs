@@ -223,13 +223,17 @@ pub mod test_runner {
     ) {
         for case in 0..config.cases {
             // Mix the test name in so sibling tests see distinct streams.
-            let mut seed = 0x5851_F42D_4C95_7F2Du64 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let mut seed =
+                0x5851_F42D_4C95_7F2Du64 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
             for b in test_name.bytes() {
                 seed = seed.rotate_left(8) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
             }
             let mut rng = TestRng::new(seed);
             if let Err(e) = f(&mut rng) {
-                panic!("proptest `{test_name}` failed at case {case}/{}: {e}", config.cases);
+                panic!(
+                    "proptest `{test_name}` failed at case {case}/{}: {e}",
+                    config.cases
+                );
             }
         }
     }

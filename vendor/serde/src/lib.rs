@@ -129,9 +129,8 @@ impl Serialize for usize {
 
 impl Deserialize for usize {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        u64::from_content(c).and_then(|v| {
-            usize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
-        })
+        u64::from_content(c)
+            .and_then(|v| usize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range"))))
     }
 }
 
@@ -171,9 +170,8 @@ impl Serialize for isize {
 
 impl Deserialize for isize {
     fn from_content(c: &Content) -> Result<Self, DeError> {
-        i64::from_content(c).and_then(|v| {
-            isize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
-        })
+        i64::from_content(c)
+            .and_then(|v| isize::try_from(v).map_err(|_| DeError::new(format!("{v} out of range"))))
     }
 }
 
@@ -383,7 +381,7 @@ mod tests {
         assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
         assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
         assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
-        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert!(bool::from_content(&true.to_content()).unwrap());
         assert_eq!(
             String::from_content(&"hi".to_content()).unwrap(),
             "hi".to_string()

@@ -44,22 +44,38 @@ struct Variant {
 }
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, attrs: SerdeAttrs, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        attrs: SerdeAttrs,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -200,7 +216,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let name = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"),
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"
+            ),
         }
         skip_type(&tokens, &mut i);
         fields.push(Field { name, attrs });
@@ -312,9 +330,8 @@ fn snake_case(name: &str) -> String {
 fn gen_serialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
-            let mut body = String::from(
-                "let mut entries: Vec<(String, ::serde::Content)> = Vec::new();\n",
-            );
+            let mut body =
+                String::from("let mut entries: Vec<(String, ::serde::Content)> = Vec::new();\n");
             for f in fields {
                 if f.attrs.skip {
                     continue;
@@ -339,7 +356,11 @@ fn gen_serialize(item: &Item) -> String {
             impl_serialize(name, &body)
         }
         Item::UnitStruct { name } => impl_serialize(name, "::serde::Content::Null"),
-        Item::Enum { name, attrs, variants } => {
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
             let mut arms = String::new();
             for v in variants {
                 let wire = wire_name(&v.name, attrs);
@@ -461,7 +482,11 @@ fn gen_deserialize(item: &Item) -> String {
             impl_deserialize(name, &body)
         }
         Item::UnitStruct { name } => impl_deserialize(name, &format!("Ok({name})")),
-        Item::Enum { name, attrs, variants } => {
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
             let body = match &attrs.tag {
                 Some(tag) => gen_de_tagged_enum(name, tag, attrs, variants),
                 None => gen_de_external_enum(name, attrs, variants),
@@ -476,7 +501,13 @@ fn gen_de_external_enum(name: &str, attrs: &SerdeAttrs, variants: &[Variant]) ->
     let unit_arms: String = variants
         .iter()
         .filter(|v| matches!(v.kind, VariantKind::Unit))
-        .map(|v| format!("\"{}\" => return Ok({name}::{}),\n", wire_name(&v.name, attrs), v.name))
+        .map(|v| {
+            format!(
+                "\"{}\" => return Ok({name}::{}),\n",
+                wire_name(&v.name, attrs),
+                v.name
+            )
+        })
         .collect();
     if !unit_arms.is_empty() {
         body.push_str(&format!(
@@ -517,12 +548,7 @@ fn gen_de_external_enum(name: &str, attrs: &SerdeAttrs, variants: &[Variant]) ->
     body
 }
 
-fn gen_de_tagged_enum(
-    name: &str,
-    tag: &str,
-    attrs: &SerdeAttrs,
-    variants: &[Variant],
-) -> String {
+fn gen_de_tagged_enum(name: &str, tag: &str, attrs: &SerdeAttrs, variants: &[Variant]) -> String {
     let mut arms = String::new();
     for v in variants {
         let wire = wire_name(&v.name, attrs);

@@ -41,6 +41,15 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value to compact JSON into a caller-provided buffer,
+/// clearing it first. Lets hot paths (e.g. per-event trace sinks) reuse one
+/// allocation across calls instead of building a fresh `String` each time.
+pub fn to_string_into<T: Serialize>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_content(out, &value.to_content(), None, 0);
+    Ok(())
+}
+
 /// Serializes a value to 2-space-indented JSON.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -50,7 +59,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Parses a value from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let content = p.parse_value()?;
     p.skip_ws();
@@ -218,7 +230,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -247,7 +264,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -296,10 +318,7 @@ impl<'a> Parser<'a> {
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -331,8 +350,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         if float {
             text.parse::<f64>()
                 .map(Content::F64)

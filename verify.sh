@@ -59,4 +59,27 @@ for smoke_seed in 7 99; do
     echo "verify.sh: fault smoke ok (seed $smoke_seed: $fault_lines fault events, $retries retries)"
 done
 
+# Kernel bench smoke: the benches must compile, and a quick `slsb bench`
+# must produce a parseable report with nonzero throughput for every row.
+# Absolute numbers and speedups are machine-dependent, so they are not
+# gated here — BENCH_kernel.json is the tracked baseline for those.
+cargo bench --no-run -p slsb-bench
+benchfile="$(mktemp /tmp/slsb-bench.XXXXXX.json)"
+trap 'rm -f "$tracefile" "$benchfile"' EXIT
+./target/release/slsb bench --quick --out "$benchfile" >/dev/null
+python3 - "$benchfile" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "slsb-bench-kernel/v1", r["schema"]
+rows = r["schedule_pop"] + r["end_to_end"]
+assert rows, "bench report has no measurements"
+for row in rows:
+    assert row["events_per_sec"] > 0, row
+kernels = {row["kernel"] for row in rows}
+assert kernels == {"wheel", "heap"}, kernels
+print(f"verify.sh: bench smoke ok ({len(rows)} rows, "
+      f"kernel speedup {r['kernel_speedup']:.2f}x, "
+      f"end-to-end {r['end_to_end_speedup']:.2f}x)")
+EOF
+
 echo "verify.sh: all gates passed"
