@@ -1,0 +1,69 @@
+//! Request-path micro-benchmarks: the zero-alloc executor hot path,
+//! sequential versus sharded replay, and steady-state arena reuse.
+//!
+//! These isolate the second perf wave's two levers — the recycled run
+//! arena (first iteration pays the allocations, later iterations replay
+//! on warm buffers) and intra-run sharding (per-client cells merged in
+//! canonical order). Throughput is reported in requests per second so the
+//! numbers line up with `slsb bench`'s end-to-end rows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slsb_core::{Deployment, Executor};
+use slsb_model::{ModelKind, RuntimeKind};
+use slsb_platform::PlatformKind;
+use slsb_sim::Seed;
+use slsb_workload::MmppPreset;
+use std::time::Duration;
+
+fn deployment() -> Deployment {
+    Deployment::new(
+        PlatformKind::AwsServerless,
+        ModelKind::MobileNet,
+        RuntimeKind::Tf115,
+    )
+}
+
+/// Sequential replay on a warm arena — the steady-state request path the
+/// allocation gate (< 2 allocs/request) is measured on.
+fn bench_request_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor/request-path");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    let trace = MmppPreset::W40.generate(Seed(1));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let dep = deployment();
+    let exec = Executor::default();
+    // Warm the thread's arena so the timed iterations measure recycled
+    // buffers, matching how replication and the suite reuse a thread.
+    exec.run(&dep, &trace, Seed(1)).unwrap();
+    group.bench_function("sequential-warm-arena", |b| {
+        b.iter(|| exec.run(&dep, &trace, Seed(1)).unwrap())
+    });
+    group.finish();
+}
+
+/// Sharded replay across worker budgets. `shards(1)` measures the pure
+/// cell-split overhead against the legacy path above; higher budgets show
+/// what multi-core machines recover (on a single-core runner they cost
+/// thread churn and should roughly match `shards(1)`).
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor/sharded");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    let trace = MmppPreset::W40.generate(Seed(1));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let dep = deployment();
+    for workers in [1usize, 2, 4] {
+        let exec = Executor::default().with_shards(workers);
+        exec.run(&dep, &trace, Seed(1)).unwrap();
+        group.bench_function(&format!("shards-{workers}"), |b| {
+            b.iter(|| exec.run(&dep, &trace, Seed(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_path, bench_sharded);
+criterion_main!(benches);

@@ -37,13 +37,19 @@ static ALLOC: perf::CountingAllocator = perf::CountingAllocator;
 const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
-  slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N]
-  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--seed N]
+  slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N] [--shards N]
+  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--seed N] [--shards N]
   slsb trace     <trace.jsonl>
   slsb bench     [--quick] [--out FILE]
 
 --jobs N runs N simulations in parallel (default: all cores; results are
 bit-identical to --jobs 1 for any N).
+--shards N runs each simulation sharded per client on up to N workers
+(sharded results are identical for every N >= 1; they differ from the
+unsharded default because each client cell derives its own RNG streams).
+--jobs and --shards share one worker budget: with J outer jobs the
+shard workers per run are clamped to max(1, jobs/J), so the two flags
+never oversubscribe the machine.
 --log-level <quiet|info|debug> (any position) controls progress chatter.
 run --trace FILE streams every simulation event to FILE as JSONL;
 run --faults FILE overrides the scenario's fault-injection plan with a
@@ -71,6 +77,7 @@ struct Options {
     slo: f64,
     reps: usize,
     jobs: Jobs,
+    shards: Option<usize>,
 }
 
 impl Default for Options {
@@ -85,6 +92,7 @@ impl Default for Options {
             slo: 0.5,
             reps: 5,
             jobs: Jobs::available(),
+            shards: None,
         }
     }
 }
@@ -166,6 +174,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("jobs must be at least 1".into());
                 }
                 o.jobs = Jobs::new(n);
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shards {v:?}"))?;
+                if n == 0 {
+                    return Err("shards must be at least 1".into());
+                }
+                o.shards = Some(n);
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -270,8 +286,14 @@ fn cmd_explore(o: &Options) -> Result<(), String> {
 fn cmd_replicate(o: &Options) -> Result<(), String> {
     let platform = o.platform.ok_or("replicate needs --platform (see usage)")?;
     let dep = Deployment::new(platform, o.model, o.runtime);
+    let mut exec = Executor::default();
+    if let Some(n) = o.shards {
+        // replicate_jobs clamps the shard budget against --jobs so the
+        // replica fan-out and intra-run shards share one worker pool.
+        exec = exec.with_shards(n);
+    }
     let r = replicate_jobs(
-        &Executor::default(),
+        &exec,
         &dep,
         workload_spec(o),
         o.seed,
@@ -306,6 +328,7 @@ struct RunOptions {
     faults: Option<String>,
     retry: Option<String>,
     seed: Option<u64>,
+    shards: Option<usize>,
 }
 
 /// Removes `flag VALUE` from `args` wherever it appears, returning the
@@ -333,6 +356,12 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
         seed: take_flag(&mut args, "--seed")?
             .map(|v| v.parse().map_err(|_| format!("bad seed {v:?}")))
             .transpose()?,
+        shards: take_flag(&mut args, "--shards")?
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("bad shards {v:?} (must be >= 1)")),
+            })
+            .transpose()?,
     };
     match args.as_slice() {
         [path] => Ok((path.clone(), o)),
@@ -359,6 +388,9 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     }
     if let Some(seed) = opts.seed {
         scenario.seed = seed;
+    }
+    if let Some(shards) = opts.shards {
+        scenario.executor.shards = shards;
     }
     let mut trace_events = None;
     let (run, a) = match opts.trace_out.as_deref() {
@@ -427,12 +459,17 @@ fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
 fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
     let mode = if args.quick { "quick" } else { "full" };
     println!("Measuring kernel throughput (wheel vs heap, {mode} matrix)...\n");
-    let report = perf::run_benchmarks(&perf::BenchConfig { quick: args.quick })?;
+    let mut report = perf::run_benchmarks(&perf::BenchConfig { quick: args.quick })?;
+    // Carry the measurement history of the report being replaced forward
+    // and stamp this run onto it, so the file tracks a trajectory instead
+    // of only the latest point.
+    let prior = std::fs::read_to_string(&args.out).ok();
+    perf::append_trajectory(&mut report, prior.as_deref());
     println!("{}", perf::summary(&report));
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&args.out, json + "\n")
         .map_err(|e| format!("cannot write {}: {e}", args.out))?;
-    println!("\nreport written to {}", args.out);
+    println!("\nreport written to {} ({} trajectory entries)", args.out, report.trajectory.len());
     Ok(())
 }
 
@@ -525,6 +562,8 @@ mod tests {
             "3",
             "--jobs",
             "4",
+            "--shards",
+            "2",
         ]))
         .unwrap();
         assert_eq!(o.model, ModelKind::Vgg);
@@ -536,6 +575,7 @@ mod tests {
         assert_eq!(o.slo, 0.2);
         assert_eq!(o.reps, 3);
         assert_eq!(o.jobs.get(), 4);
+        assert_eq!(o.shards, Some(2));
     }
 
     #[test]
@@ -545,6 +585,7 @@ mod tests {
         assert!(parse_options(&strs(&["--scale", "-1"])).is_err());
         assert!(parse_options(&strs(&["--reps", "0"])).is_err());
         assert!(parse_options(&strs(&["--jobs", "0"])).is_err());
+        assert!(parse_options(&strs(&["--shards", "0"])).is_err());
         assert!(parse_options(&strs(&["--bogus"])).is_err());
         assert!(parse_options(&strs(&["--seed"])).is_err());
     }
@@ -570,6 +611,8 @@ mod tests {
             "9",
             "--trace",
             "out.jsonl",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         assert_eq!(path, "scenario.json");
@@ -577,6 +620,7 @@ mod tests {
         assert_eq!(o.faults.as_deref(), Some("faults.json"));
         assert_eq!(o.retry.as_deref(), Some("attempts=3"));
         assert_eq!(o.seed, Some(9));
+        assert_eq!(o.shards, Some(4));
     }
 
     #[test]

@@ -21,32 +21,33 @@
 //! Allocation counts come from [`CountingAllocator`], which the `slsb`
 //! binary installs as its `#[global_allocator]`. When the allocator is
 //! not installed (e.g. library tests), counts read as zero deltas and the
-//! report simply omits that signal.
+//! report simply omits that signal. The counter itself lives in
+//! [`slsb_sim::alloc`], at the bottom of the crate graph, which also
+//! provides the per-subsystem region attribution the report's
+//! `alloc_breakdown` is built from.
 
-use serde::Serialize;
-use slsb_core::{Deployment, Executor};
+use serde::{Deserialize, Serialize};
+use slsb_core::{Deployment, Executor, Jobs};
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::PlatformKind;
 use slsb_sim::event::{EventQueue, Kernel};
 use slsb_sim::{Seed, SimTime};
 use slsb_workload::MmppPreset;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A pass-through allocator that counts allocations. Install it with
 /// `#[global_allocator]` in a binary to make [`allocation_count`] live;
 /// the counter uses relaxed atomics, so the overhead is one uncontended
-/// fetch-add per allocation.
+/// fetch-add per allocation (plus one relaxed load for the region gate).
 pub struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
 // SAFETY: delegates allocation and deallocation directly to `System`;
-// the counter has no effect on the returned memory.
+// the counter has no effect on the returned memory, and `note_alloc`
+// never allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        slsb_sim::alloc::note_alloc();
         unsafe { System.alloc(layout) }
     }
 
@@ -55,7 +56,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        slsb_sim::alloc::note_alloc();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -63,7 +64,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 /// Total allocations observed since process start (zero if the counting
 /// allocator is not installed as the global allocator).
 pub fn allocation_count() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    slsb_sim::alloc::allocation_count()
 }
 
 /// One schedule/pop microbench measurement.
@@ -87,6 +88,9 @@ pub struct KernelBench {
 pub struct EndToEndBench {
     pub kernel: String,
     pub preset: String,
+    /// Execution mode: `sequential` (the default round-robin executor) or
+    /// `sharded` (per-client cells, `--shards`).
+    pub mode: String,
     pub requests: u64,
     pub reps: u64,
     /// Engine events processed across all reps.
@@ -94,6 +98,46 @@ pub struct EndToEndBench {
     pub elapsed_secs: f64,
     pub events_per_sec: f64,
     pub allocations: u64,
+    /// `allocations / requests` — heap allocations charged per unique
+    /// request in the trace (the timed section spans all reps, so arena
+    /// reuse across reps drives this toward zero).
+    pub allocs_per_request: f64,
+}
+
+/// Per-subsystem allocation attribution for one untimed wheel replicate,
+/// measured with [`slsb_sim::alloc`] region guards enabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllocBreakdown {
+    /// Executor setup and request bookkeeping (and anything unclaimed).
+    pub executor: u64,
+    /// Event-queue schedule/pop.
+    pub kernel: u64,
+    /// Platform models: submit/scale/bill/drain.
+    pub platform: u64,
+    /// Observability: trace recording and span emission.
+    pub obs: u64,
+}
+
+/// One historical data point in the report's `trajectory`: the headline
+/// numbers of a past `slsb bench` run, stamped with its git revision.
+/// `slsb bench` appends to this list instead of discarding history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryEntry {
+    /// Short git revision the measurement was taken at (`unknown` when
+    /// git is unavailable).
+    pub rev: String,
+    /// UTC date of the measurement, `YYYY-MM-DD`.
+    pub date: String,
+    /// Whether this was a `--quick` run (smoke-test grade numbers).
+    pub quick: bool,
+    /// Wheel end-to-end throughput (engine events per second).
+    pub end_to_end_events_per_sec: f64,
+    /// Wheel end-to-end allocations per unique request.
+    pub allocs_per_request: f64,
+    /// Wheel-over-heap schedule/pop speedup.
+    pub kernel_speedup: f64,
+    /// Wheel-over-heap end-to-end speedup.
+    pub end_to_end_speedup: f64,
 }
 
 /// The committed baseline artifact (`BENCH_kernel.json`).
@@ -108,8 +152,19 @@ pub struct BenchReport {
     /// Wheel-over-heap throughput ratio across the schedule/pop
     /// microbenches (total events / total elapsed per kernel).
     pub kernel_speedup: f64,
-    /// Wheel-over-heap throughput ratio for the end-to-end replicates.
+    /// Wheel-over-heap throughput ratio for the end-to-end replicates
+    /// (sequential mode).
     pub end_to_end_speedup: f64,
+    /// Headline allocations-per-request of the sequential wheel
+    /// replicate — the number the zero-alloc request path is graded on.
+    pub allocs_per_request: f64,
+    /// Where the sequential wheel replicate's allocations come from
+    /// (one untimed rep with region attribution enabled).
+    pub alloc_breakdown: AllocBreakdown,
+    /// Measurement history, oldest first; the current run is last.
+    /// `slsb bench` carries forward the trajectory of the report it is
+    /// about to overwrite.
+    pub trajectory: Vec<TrajectoryEntry>,
 }
 
 /// Workload sizes for one `slsb bench` invocation.
@@ -219,16 +274,24 @@ fn micro_steady_state(kernel: Kernel, n: u64, reps: u64) -> KernelBench {
     }
 }
 
-fn end_to_end(kernel: Kernel, cfg: &BenchConfig) -> Result<EndToEndBench, String> {
-    let preset = cfg.preset();
-    let trace = preset.generate(Seed(152).substream("bench-workload"));
-    let dep = Deployment::new(
+fn bench_deployment() -> Deployment {
+    Deployment::new(
         PlatformKind::AwsServerless,
         ModelKind::MobileNet,
         RuntimeKind::Tf115,
-    );
-    let exec = Executor::default().with_kernel(kernel);
-    // Warm up once so page faults and lazy init are off the clock.
+    )
+}
+
+fn end_to_end(kernel: Kernel, shards: Option<usize>, cfg: &BenchConfig) -> Result<EndToEndBench, String> {
+    let preset = cfg.preset();
+    let trace = preset.generate(Seed(152).substream("bench-workload"));
+    let dep = bench_deployment();
+    let mut exec = Executor::default().with_kernel(kernel);
+    if let Some(n) = shards {
+        exec = exec.with_shards(n);
+    }
+    // Warm up once so page faults, lazy init, and the run arena's
+    // initial growth are off the clock.
     exec.run(&dep, &trace, Seed(1)).map_err(|e| e.to_string())?;
     let mut engine_events = 0u64;
     let a0 = allocation_count();
@@ -240,15 +303,38 @@ fn end_to_end(kernel: Kernel, cfg: &BenchConfig) -> Result<EndToEndBench, String
         engine_events += run.engine_events;
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    let allocations = allocation_count() - a0;
     Ok(EndToEndBench {
         kernel: kernel.name().to_string(),
         preset: preset.spec().name.to_string(),
+        mode: if shards.is_some() { "sharded" } else { "sequential" }.to_string(),
         requests: trace.len() as u64,
         reps: cfg.e2e_reps(),
         engine_events,
         elapsed_secs: elapsed,
         events_per_sec: engine_events as f64 / elapsed.max(1e-12),
-        allocations: allocation_count() - a0,
+        allocations,
+        allocs_per_request: allocations as f64 / (trace.len() as f64).max(1.0),
+    })
+}
+
+/// Runs one untimed wheel replicate with region attribution enabled and
+/// returns where its allocations land. Kept off the timed path because
+/// active region guards cost a thread-local swap per scope.
+fn measure_breakdown(cfg: &BenchConfig) -> Result<AllocBreakdown, String> {
+    let trace = cfg.preset().generate(Seed(152).substream("bench-workload"));
+    let exec = Executor::default().with_kernel(Kernel::Wheel);
+    slsb_sim::alloc::reset_region_counts();
+    slsb_sim::alloc::enable_breakdown(true);
+    let run = exec.run(&bench_deployment(), &trace, Seed(1000));
+    slsb_sim::alloc::enable_breakdown(false);
+    run.map_err(|e| e.to_string())?;
+    let counts = slsb_sim::alloc::region_counts();
+    Ok(AllocBreakdown {
+        executor: counts[slsb_sim::alloc::Region::Executor as usize],
+        kernel: counts[slsb_sim::alloc::Region::Kernel as usize],
+        platform: counts[slsb_sim::alloc::Region::Platform as usize],
+        obs: counts[slsb_sim::alloc::Region::Obs as usize],
     })
 }
 
@@ -279,18 +365,101 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let heap: Vec<&KernelBench> = schedule_pop.iter().filter(|b| b.kernel == "heap").collect();
     let kernel_speedup = throughput(&wheel) / throughput(&heap).max(1e-12);
 
-    let e2e_wheel = end_to_end(Kernel::Wheel, cfg)?;
-    let e2e_heap = end_to_end(Kernel::Heap, cfg)?;
+    let e2e_wheel = end_to_end(Kernel::Wheel, None, cfg)?;
+    let e2e_heap = end_to_end(Kernel::Heap, None, cfg)?;
+    let e2e_sharded = end_to_end(Kernel::Wheel, Some(Jobs::available().get()), cfg)?;
     let end_to_end_speedup = e2e_wheel.events_per_sec / e2e_heap.events_per_sec.max(1e-12);
+    let allocs_per_request = e2e_wheel.allocs_per_request;
+    let alloc_breakdown = measure_breakdown(cfg)?;
 
     Ok(BenchReport {
-        schema: "slsb-bench-kernel/v1".to_string(),
+        schema: "slsb-bench-kernel/v2".to_string(),
         quick: cfg.quick,
         schedule_pop,
-        end_to_end: vec![e2e_wheel, e2e_heap],
+        end_to_end: vec![e2e_wheel, e2e_heap, e2e_sharded],
         kernel_speedup,
         end_to_end_speedup,
+        allocs_per_request,
+        alloc_breakdown,
+        trajectory: Vec::new(),
     })
+}
+
+/// Hinnant's civil-from-days algorithm: days since the Unix epoch to a
+/// `(year, month, day)` Gregorian date. Avoids a date-time dependency for
+/// the one timestamp the bench report needs.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe as i64 + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (from the system clock).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The short git revision of the working tree, or `unknown` when git (or
+/// a repository) is unavailable.
+fn git_short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn empty_trajectory() -> Vec<TrajectoryEntry> {
+    Vec::new()
+}
+
+/// The subset of a prior report `slsb bench` carries forward. A v1 file
+/// has no trajectory, so the field defaults to empty — upgrading is
+/// seamless and a corrupt file degrades to starting history afresh.
+#[derive(Deserialize)]
+struct PriorReport {
+    #[serde(default = "empty_trajectory")]
+    trajectory: Vec<TrajectoryEntry>,
+}
+
+/// Extends `report.trajectory` with the history parsed from
+/// `prior_json` (the report file being replaced, if any), then appends
+/// the current run's headline numbers as the newest entry.
+pub fn append_trajectory(report: &mut BenchReport, prior_json: Option<&str>) {
+    if let Some(text) = prior_json {
+        if let Ok(prior) = serde_json::from_str::<PriorReport>(text) {
+            report.trajectory = prior.trajectory;
+        }
+    }
+    report.trajectory.push(TrajectoryEntry {
+        rev: git_short_rev(),
+        date: today_utc(),
+        quick: report.quick,
+        end_to_end_events_per_sec: report
+            .end_to_end
+            .first()
+            .map(|b| b.events_per_sec)
+            .unwrap_or(0.0),
+        allocs_per_request: report.allocs_per_request,
+        kernel_speedup: report.kernel_speedup,
+        end_to_end_speedup: report.end_to_end_speedup,
+    });
 }
 
 /// Human-readable summary of a report, one line per measurement.
@@ -304,16 +473,27 @@ pub fn summary(report: &BenchReport) -> String {
     }
     for b in &report.end_to_end {
         out.push_str(&format!(
-            "{:<5} end-to-end {} x{:<2} {:>9} ev in {:>7.3}s = {:>12.0} ev/s  ({} allocs)\n",
+            "{:<5} e2e {:<10} {} x{:<2} {:>9} ev in {:>7.3}s = {:>12.0} ev/s  ({} allocs, {:.2}/req)\n",
             b.kernel,
+            b.mode,
             b.preset,
             b.reps,
             b.engine_events,
             b.elapsed_secs,
             b.events_per_sec,
-            b.allocations
+            b.allocations,
+            b.allocs_per_request
         ));
     }
+    let bd = &report.alloc_breakdown;
+    out.push_str(&format!(
+        "alloc breakdown (1 rep): executor {} / kernel {} / platform {} / obs {}\n",
+        bd.executor, bd.kernel, bd.platform, bd.obs
+    ));
+    out.push_str(&format!(
+        "allocs per request (wheel, sequential): {:.2}\n",
+        report.allocs_per_request
+    ));
     out.push_str(&format!(
         "kernel schedule/pop speedup (wheel vs heap): {:.2}x\n",
         report.kernel_speedup
@@ -335,7 +515,7 @@ mod tests {
         let report = run_benchmarks(&cfg).unwrap();
         assert!(report.quick);
         assert_eq!(report.schedule_pop.len(), 4);
-        assert_eq!(report.end_to_end.len(), 2);
+        assert_eq!(report.end_to_end.len(), 3);
         for b in &report.schedule_pop {
             assert!(b.events_per_sec > 0.0, "{b:?}");
         }
@@ -343,11 +523,14 @@ mod tests {
             assert!(b.events_per_sec > 0.0, "{b:?}");
             assert!(b.engine_events > 0, "{b:?}");
         }
+        assert_eq!(report.end_to_end[0].mode, "sequential");
+        assert_eq!(report.end_to_end[2].mode, "sharded");
         assert!(report.kernel_speedup > 0.0);
         assert!(report.end_to_end_speedup > 0.0);
+        assert!(report.trajectory.is_empty(), "history is appended by the CLI");
         // The report round-trips through the JSON layer.
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("slsb-bench-kernel/v1"));
+        assert!(json.contains("slsb-bench-kernel/v2"));
     }
 
     #[test]
@@ -356,5 +539,59 @@ mod tests {
         let v = vec![1u8; 1024];
         std::hint::black_box(&v);
         assert!(allocation_count() >= a);
+    }
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+    }
+
+    #[test]
+    fn trajectory_appends_and_carries_history() {
+        let mut report = BenchReport {
+            schema: "slsb-bench-kernel/v2".to_string(),
+            quick: true,
+            schedule_pop: Vec::new(),
+            end_to_end: Vec::new(),
+            kernel_speedup: 3.0,
+            end_to_end_speedup: 1.5,
+            allocs_per_request: 0.5,
+            alloc_breakdown: AllocBreakdown {
+                executor: 1,
+                kernel: 2,
+                platform: 3,
+                obs: 4,
+            },
+            trajectory: Vec::new(),
+        };
+        let prior = r#"{
+            "schema": "slsb-bench-kernel/v2",
+            "trajectory": [{
+                "rev": "abc1234", "date": "2026-01-01", "quick": false,
+                "end_to_end_events_per_sec": 4000000.0,
+                "allocs_per_request": 10.6,
+                "kernel_speedup": 3.2, "end_to_end_speedup": 1.47
+            }]
+        }"#;
+        append_trajectory(&mut report, Some(prior));
+        assert_eq!(report.trajectory.len(), 2);
+        assert_eq!(report.trajectory[0].rev, "abc1234");
+        let latest = report.trajectory.last().unwrap();
+        assert_eq!(latest.allocs_per_request, 0.5);
+        assert!(latest.date.len() == 10 && latest.date.contains('-'));
+
+        // A v1 file (no trajectory field) starts history afresh, and so
+        // does garbage: neither panics.
+        let mut v1 = report.clone();
+        v1.trajectory.clear();
+        append_trajectory(&mut v1, Some(r#"{"schema": "slsb-bench-kernel/v1"}"#));
+        assert_eq!(v1.trajectory.len(), 1);
+        let mut none = report.clone();
+        none.trajectory.clear();
+        append_trajectory(&mut none, None);
+        assert_eq!(none.trajectory.len(), 1);
     }
 }

@@ -224,7 +224,7 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
 
     Analysis {
         label: run.deployment.label(),
-        workload: run.workload.clone(),
+        workload: run.workload.to_string(),
         total,
         succeeded,
         failed_queue_full,

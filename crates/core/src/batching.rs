@@ -36,40 +36,123 @@ pub struct Invocation {
     pub members: Vec<usize>,
 }
 
+/// Flat invocation storage: send instants plus one shared member pool.
+///
+/// The per-[`Invocation`] `members: Vec<usize>` costs one heap allocation
+/// per invocation — the single largest per-request allocation in an
+/// unbatched run. The plan stores all members in one vector with prefix
+/// offsets instead, and the executor recycles the whole structure across
+/// runs through its arena, so steady-state planning allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvocationPlan {
+    send_at: Vec<SimTime>,
+    /// Prefix offsets into `members`: invocation `i` owns
+    /// `members[bounds[i]..bounds[i + 1]]`. Always starts with 0.
+    bounds: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl Default for InvocationPlan {
+    fn default() -> Self {
+        InvocationPlan {
+            send_at: Vec::new(),
+            bounds: vec![0],
+            members: Vec::new(),
+        }
+    }
+}
+
+impl InvocationPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the plan, keeping all capacity.
+    pub fn clear(&mut self) {
+        self.send_at.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+        self.members.clear();
+    }
+
+    /// Pre-sizes for about `invocations` invocations over `members`
+    /// requests.
+    pub fn reserve(&mut self, invocations: usize, members: usize) {
+        self.send_at.reserve(invocations);
+        self.bounds.reserve(invocations);
+        self.members.reserve(members);
+    }
+
+    /// Number of invocations planned.
+    pub fn len(&self) -> usize {
+        self.send_at.len()
+    }
+
+    /// True when no invocations are planned.
+    pub fn is_empty(&self) -> bool {
+        self.send_at.is_empty()
+    }
+
+    /// When invocation `inv` fires.
+    pub fn send_at(&self, inv: usize) -> SimTime {
+        self.send_at[inv]
+    }
+
+    /// Record indices carried by invocation `inv`.
+    pub fn members(&self, inv: usize) -> &[u32] {
+        &self.members[self.bounds[inv] as usize..self.bounds[inv + 1] as usize]
+    }
+
+    /// Appends one invocation with the given members.
+    pub fn push(&mut self, send_at: SimTime, members: impl IntoIterator<Item = u32>) {
+        self.send_at.push(send_at);
+        self.members.extend(members);
+        self.bounds.push(self.members.len() as u32);
+    }
+
+    /// `(send_at, members)` pairs in invocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &[u32])> + '_ {
+        (0..self.len()).map(|i| (self.send_at(i), self.members(i)))
+    }
+}
+
 /// Groups one client's arrivals (`(record index, arrival)` sorted by
-/// arrival) into invocations under `policy`.
+/// arrival) into invocations under `policy`, appending to `out` — the
+/// executor calls this once per client into one shared plan.
 ///
 /// # Panics
 /// Panics if a fixed batch size or adaptive max batch is zero.
-pub fn plan_invocations(arrivals: &[(usize, SimTime)], policy: BatchPolicy) -> Vec<Invocation> {
+pub fn plan_invocations_into(
+    arrivals: &[(usize, SimTime)],
+    policy: BatchPolicy,
+    out: &mut InvocationPlan,
+) {
     debug_assert!(arrivals.windows(2).all(|w| w[0].1 <= w[1].1));
     match policy {
-        BatchPolicy::None => arrivals
-            .iter()
-            .map(|&(idx, at)| Invocation {
-                send_at: at,
-                members: vec![idx],
-            })
-            .collect(),
+        BatchPolicy::None => {
+            out.reserve(arrivals.len(), arrivals.len());
+            for &(idx, at) in arrivals {
+                out.push(at, [idx as u32]);
+            }
+        }
         BatchPolicy::Fixed(n) => {
             assert!(n > 0, "zero batch size");
-            arrivals
-                .chunks(n as usize)
-                .map(|chunk| Invocation {
-                    // The batch fires when its last member arrives (or at
-                    // workload end for the final partial batch — same
-                    // instant, since these are the last arrivals).
-                    send_at: chunk.last().expect("non-empty chunk").1,
-                    members: chunk.iter().map(|&(idx, _)| idx).collect(),
-                })
-                .collect()
+            for chunk in arrivals.chunks(n as usize) {
+                // The batch fires when its last member arrives (or at
+                // workload end for the final partial batch — same
+                // instant, since these are the last arrivals).
+                out.push(
+                    chunk.last().expect("non-empty chunk").1,
+                    chunk.iter().map(|&(idx, _)| idx as u32),
+                );
+            }
         }
         BatchPolicy::Adaptive {
             max_wait,
             max_batch,
         } => {
             assert!(max_batch > 0, "zero max batch");
-            let mut out = Vec::new();
             let mut i = 0;
             while i < arrivals.len() {
                 let window_end = arrivals[i].1 + max_wait;
@@ -88,15 +171,29 @@ pub fn plan_invocations(arrivals: &[(usize, SimTime)], policy: BatchPolicy) -> V
                 } else {
                     window_end
                 };
-                out.push(Invocation {
-                    send_at,
-                    members: arrivals[i..j].iter().map(|&(idx, _)| idx).collect(),
-                });
+                out.push(send_at, arrivals[i..j].iter().map(|&(idx, _)| idx as u32));
                 i = j;
             }
-            out
         }
     }
+}
+
+/// Groups one client's arrivals (`(record index, arrival)` sorted by
+/// arrival) into invocations under `policy`. Allocating convenience
+/// wrapper around [`plan_invocations_into`], kept for tests and external
+/// callers.
+///
+/// # Panics
+/// Panics if a fixed batch size or adaptive max batch is zero.
+pub fn plan_invocations(arrivals: &[(usize, SimTime)], policy: BatchPolicy) -> Vec<Invocation> {
+    let mut plan = InvocationPlan::new();
+    plan_invocations_into(arrivals, policy, &mut plan);
+    plan.iter()
+        .map(|(send_at, members)| Invocation {
+            send_at,
+            members: members.iter().map(|&m| m as usize).collect(),
+        })
+        .collect()
 }
 
 #[cfg(test)]

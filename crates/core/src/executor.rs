@@ -7,17 +7,21 @@
 //! HTTP timeout converts slow responses into failures — the mechanism
 //! behind every success-ratio number in the evaluation.
 
-use crate::batching::{plan_invocations, BatchPolicy, Invocation};
+use crate::batching::{plan_invocations_into, BatchPolicy, InvocationPlan};
 use crate::plan::{Deployment, PlanError};
+use crate::runner::{parallel_map, Jobs};
 use serde::{Deserialize, Serialize};
 use slsb_model::ModelKind;
-use slsb_obs::{EventKind, FaultKind, Recorder, SpanOutcome, TraceEvent};
+use slsb_obs::{EventKind, FaultKind, MemoryRecorder, Recorder, SpanOutcome, TraceEvent};
 use slsb_platform::{
     ColdStartBreakdown, FailureReason, FaultInjector, FaultPlan, NetworkProfile, Outcome, Platform,
-    PlatformEvent, PlatformReport, PlatformScheduler, RequestId, ServingRequest,
+    PlatformEvent, PlatformReport, PlatformScheduler, RequestId, ServingRequest, ServingResponse,
 };
+use slsb_sim::alloc::{Region, RegionGuard};
 use slsb_sim::{Engine, EventQueue, Kernel, Seed, SimDuration, SimRng, SimTime, System};
 use slsb_workload::{InputKind, RequestPool, WorkloadTrace};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Client retry policy: how an invocation is re-issued after a failed or
 /// timed-out attempt. The default (`max_attempts = 1`) disables retries
@@ -178,6 +182,20 @@ pub struct ExecutorConfig {
     /// Client retry policy (disabled by default).
     #[serde(default = "default_retry")]
     pub retry: RetryPolicy,
+    /// Intra-run sharding worker budget. `0` (the default) keeps the
+    /// legacy single-sequence replay. Any value ≥ 1 switches to sharded
+    /// mode: the run splits into one cell per client (events never cross
+    /// cells), cells execute on up to this many workers, and the merged
+    /// result is byte-identical for *every* budget — `shards = 1` and
+    /// `shards = 64` differ only in thread count. Sharded results differ
+    /// from the legacy mode's by design (each cell owns a platform and
+    /// draws its own RNG substreams).
+    #[serde(default = "default_no_shards")]
+    pub shards: usize,
+}
+
+fn default_no_shards() -> usize {
+    0
 }
 
 impl Default for ExecutorConfig {
@@ -189,6 +207,7 @@ impl Default for ExecutorConfig {
             network: NetworkProfile::DEFAULT,
             batch_override: None,
             retry: RetryPolicy::disabled(),
+            shards: 0,
         }
     }
 }
@@ -225,8 +244,9 @@ pub struct RequestRecord {
 pub struct RunResult {
     /// The deployment that served the run.
     pub deployment: Deployment,
-    /// Workload name (e.g. `"workload-120"`).
-    pub workload: String,
+    /// Workload name (e.g. `"workload-120"`), shared with the trace's
+    /// interned name rather than cloned per run.
+    pub workload: Arc<str>,
     /// Nominal workload duration.
     pub duration: SimDuration,
     /// One record per logical request, trace order.
@@ -306,15 +326,137 @@ struct Resolution {
     cold_start: Option<ColdStartBreakdown>,
 }
 
-struct ExecSystem<'r> {
-    platform: Platform,
-    invocations: Vec<Invocation>,
+/// Per-request span scratch: `(receive, net_in, exec, net_out)`.
+type SpanParts = (SimTime, SimDuration, SimDuration, SimDuration);
+
+/// Memoized request pool: pools are pure functions of `(kind, size,
+/// samples)`, so a run can reuse the previous run's pool whenever the key
+/// matches instead of regenerating (and reallocating) it.
+struct PoolMemo {
+    kind: InputKind,
+    size: usize,
+    samples: u32,
+    pool: RequestPool,
+}
+
+/// Run-lifetime buffers, recycled across runs on the same thread.
+///
+/// Everything the executor used to allocate per run — per-client arrival
+/// lists, the invocation plan, the per-invocation tables, retry state,
+/// the response log, span scratch — lives here. Buffers are `clear()`ed
+/// (keeping capacity) instead of dropped, so on a thread replaying many
+/// traces (replication, benches) the steady-state request path performs
+/// no per-request heap allocation. One arena per thread via [`ARENA`];
+/// worker threads in a sharded or replicated run each get their own.
+#[derive(Default)]
+struct RunArena {
+    client_rngs: Vec<SimRng>,
+    per_client: Vec<Vec<(usize, SimTime)>>,
+    plan: InvocationPlan,
     payload_per_invocation: Vec<u64>,
     inferences_per_invocation: Vec<u32>,
-    /// Response bookkeeping: invocation idx → (send instant, member record
-    /// indices).
-    responses: Vec<(usize, slsb_platform::ServingResponse)>,
+    net_in: Vec<SimDuration>,
+    deliver_at: Vec<SimTime>,
+    deadline: Vec<SimTime>,
+    attempt: Vec<u32>,
+    resolution: Vec<Option<Resolution>>,
+    inv_of: Vec<u64>,
+    spans: Vec<Option<SpanParts>>,
+    responses: Vec<(usize, ServingResponse)>,
+    resp_scratch: Vec<ServingResponse>,
     buffer: Vec<(SimDuration, PlatformEvent)>,
+    pool: Option<PoolMemo>,
+}
+
+impl RunArena {
+    /// Empties every buffer (keeping capacity) ahead of a run. The pool
+    /// memo survives: pools are deterministic in their key, so reuse can
+    /// never change results.
+    fn begin(&mut self) {
+        self.client_rngs.clear();
+        for c in &mut self.per_client {
+            c.clear();
+        }
+        self.plan.clear();
+        self.payload_per_invocation.clear();
+        self.inferences_per_invocation.clear();
+        self.net_in.clear();
+        self.deliver_at.clear();
+        self.deadline.clear();
+        self.attempt.clear();
+        self.resolution.clear();
+        self.inv_of.clear();
+        self.spans.clear();
+        self.responses.clear();
+        self.resp_scratch.clear();
+        self.buffer.clear();
+    }
+}
+
+thread_local! {
+    /// The calling thread's run arena. Runs borrow it for their whole
+    /// duration; the executor never re-enters itself, so the `RefCell`
+    /// borrow cannot conflict.
+    static ARENA: RefCell<RunArena> = RefCell::new(RunArena::default());
+}
+
+/// Returns the memoized pool for the key, regenerating it on a miss.
+fn pooled(memo: &mut Option<PoolMemo>, kind: InputKind, size: usize, samples: u32) -> &RequestPool {
+    let hit = matches!(
+        memo,
+        Some(m) if m.kind == kind && m.size == size && m.samples == samples
+    );
+    if !hit {
+        *memo = Some(PoolMemo {
+            kind,
+            size,
+            samples,
+            pool: RequestPool::generate(kind, size).with_samples_per_request(samples),
+        });
+    }
+    &memo.as_ref().expect("memo just filled").pool
+}
+
+/// Which requests one [`Executor::run_cell`] replay carries.
+enum CellRequests<'a> {
+    /// The whole trace, assigned to clients round-robin (the legacy,
+    /// unsharded path — byte-identical to the pre-sharding executor).
+    RoundRobin {
+        /// Sorted trace arrivals; record index = position.
+        arrivals: &'a [SimTime],
+    },
+    /// One shard cell: a single client's requests, each tagged with its
+    /// global trace index.
+    Client {
+        /// The owning client id.
+        client: u32,
+        /// `(global trace index, arrival)`, sorted by arrival.
+        arrivals: &'a [(usize, SimTime)],
+    },
+}
+
+/// What one cell (or the whole legacy run) produces, before merging.
+struct CellOutput {
+    records: Vec<RequestRecord>,
+    report: PlatformReport,
+    engine_events: u64,
+    client_faults: u64,
+    retries: u64,
+}
+
+struct ExecSystem<'r> {
+    platform: Platform,
+    /// The run's invocations (send instants + member record indices).
+    plan: &'r InvocationPlan,
+    payload_per_invocation: &'r [u64],
+    inferences_per_invocation: &'r [u32],
+    /// Response log: invocation idx (attempt-encoded in retry mode) →
+    /// platform response.
+    responses: &'r mut Vec<(usize, ServingResponse)>,
+    /// Drain scratch, reused every drain so collecting responses does not
+    /// allocate.
+    resp_scratch: &'r mut Vec<ServingResponse>,
+    buffer: &'r mut Vec<(SimDuration, PlatformEvent)>,
     /// Trace sink threaded into every platform scheduler, if recording.
     rec: Option<&'r mut dyn Recorder>,
     /// Client-path fault injector (packet loss, request-path jitter).
@@ -324,15 +466,15 @@ struct ExecSystem<'r> {
     /// Invocation count, for decoding attempt-encoded request ids.
     n_inv: usize,
     /// Network time on each invocation's request path (pre-jitter).
-    net_in: Vec<SimDuration>,
+    net_in: &'r [SimDuration],
     /// Response-path network time.
     response_net: SimDuration,
     /// Per-invocation overall client deadline (`send_at + timeout`).
-    deadline: Vec<SimTime>,
+    deadline: &'r [SimTime],
     /// Current attempt per invocation, 1-based (retry mode only).
-    attempt: Vec<u32>,
+    attempt: &'r mut [u32],
     /// Client-side fate per invocation, once fixed (retry mode only).
-    resolution: Vec<Option<Resolution>>,
+    resolution: &'r mut [Option<Resolution>],
     /// Re-sends issued so far, bounded by the policy budget.
     retries_used: u64,
     /// Deterministic jitter source for retry backoffs.
@@ -345,19 +487,32 @@ impl ExecSystem<'_> {
         queue: &mut EventQueue<ExecEvent>,
         f: impl FnOnce(&mut Platform, &mut PlatformScheduler<'_>) -> R,
     ) -> R {
-        let rec = self.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
-        let mut sched = PlatformScheduler::with_recorder(queue.now(), &mut self.buffer, rec);
-        let r = f(&mut self.platform, &mut sched);
-        for (d, e) in self.buffer.drain(..) {
-            queue.schedule_after(d, ExecEvent::Platform(e));
+        let r = {
+            let _region = RegionGuard::enter(Region::Platform);
+            let rec = self.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+            let mut sched = PlatformScheduler::with_recorder(queue.now(), self.buffer, rec);
+            f(&mut self.platform, &mut sched)
+        };
+        if !self.buffer.is_empty() {
+            queue.schedule_many_after(
+                self.buffer
+                    .drain(..)
+                    .map(|(d, e)| (d, ExecEvent::Platform(e))),
+            );
         }
         r
     }
 
     fn drain(&mut self, queue: &mut EventQueue<ExecEvent>) {
+        {
+            let _region = RegionGuard::enter(Region::Platform);
+            self.platform.drain_responses_into(self.resp_scratch);
+        }
+        if self.resp_scratch.is_empty() {
+            return;
+        }
         let retrying = self.retry.enabled();
-        let new = self.platform.drain_responses();
-        for resp in new {
+        for resp in self.resp_scratch.drain(..) {
             let receive_at = resp.completed_at + self.response_net;
             let idx = self.responses.len();
             self.responses.push((resp.id.0 as usize, resp));
@@ -370,8 +525,8 @@ impl ExecSystem<'_> {
     /// Post-run drain: collects responses without arming client events
     /// (the engine has stopped; late receipts can no longer matter).
     fn drain_final(&mut self) {
-        let new = self.platform.drain_responses();
-        for resp in new {
+        self.platform.drain_responses_into(self.resp_scratch);
+        for resp in self.resp_scratch.drain(..) {
             self.responses.push((resp.id.0 as usize, resp));
         }
     }
@@ -566,6 +721,19 @@ impl Executor {
             .with_samples_per_request(samples_per_request)
     }
 
+    /// Enables intra-run sharding with the given worker budget; see
+    /// [`ExecutorConfig::shards`].
+    #[must_use]
+    pub fn with_shards(mut self, workers: usize) -> Self {
+        self.cfg.shards = workers.max(1);
+        self
+    }
+
+    /// The sharding worker budget, if sharded mode is on.
+    pub fn shards(&self) -> Option<usize> {
+        (self.cfg.shards > 0).then_some(self.cfg.shards)
+    }
+
     /// Replays `trace` against `deployment`, returning per-request records
     /// and the platform report.
     ///
@@ -577,6 +745,9 @@ impl Executor {
         trace: &WorkloadTrace,
         seed: Seed,
     ) -> Result<RunResult, PlanError> {
+        if self.shards().is_some() {
+            return self.run_sharded(deployment, trace, seed, None);
+        }
         let platform = deployment.build(seed)?;
         Ok(self.run_built(deployment, platform, trace, seed))
     }
@@ -595,6 +766,9 @@ impl Executor {
         seed: Seed,
         rec: &mut dyn Recorder,
     ) -> Result<RunResult, PlanError> {
+        if self.shards().is_some() {
+            return self.run_sharded(deployment, trace, seed, Some(rec));
+        }
         let platform = deployment.build(seed)?;
         Ok(self.run_built_recorded(deployment, platform, trace, seed, Some(rec)))
     }
@@ -603,7 +777,9 @@ impl Executor {
     /// ablation entry point: callers may hand-construct a platform whose
     /// knobs the [`Deployment`] surface does not expose (e.g. a custom
     /// over-provisioning factor); `deployment` is then only descriptive
-    /// metadata for the records.
+    /// metadata for the records. Always the legacy single-sequence path:
+    /// a single pre-built platform cannot be split into shard cells, so
+    /// [`ExecutorConfig::shards`] is ignored here.
     pub fn run_built(
         &self,
         deployment: &Deployment,
@@ -615,6 +791,10 @@ impl Executor {
     }
 
     /// [`Executor::run_built`] with an optional trace recorder attached.
+    // The `as_deref_mut` below is not needless: `&mut dyn Recorder` is
+    // invariant, so the trait object must be re-created via a reborrow for
+    // its lifetime to shrink to the closure-local arena borrow.
+    #[allow(clippy::needless_option_as_deref)]
     pub fn run_built_recorded(
         &self,
         deployment: &Deployment,
@@ -623,40 +803,253 @@ impl Executor {
         seed: Seed,
         rec: Option<&mut dyn Recorder>,
     ) -> RunResult {
+        let mut rec = rec;
+        let out = ARENA.with(|arena| {
+            self.run_cell(
+                deployment,
+                platform,
+                trace.duration(),
+                CellRequests::RoundRobin {
+                    arrivals: trace.arrivals(),
+                },
+                seed,
+                rec.as_deref_mut().map(|r| r as &mut dyn Recorder),
+                &mut arena.borrow_mut(),
+            )
+        });
+        RunResult {
+            deployment: *deployment,
+            workload: trace.shared_name(),
+            duration: trace.duration(),
+            records: out.records,
+            platform: out.report,
+            engine_events: out.engine_events,
+            client_faults: out.client_faults,
+            retries: out.retries,
+        }
+    }
+
+    /// Sharded replay: the run splits into one cell per client — no event,
+    /// RNG draw, or platform state crosses a cell boundary — and the cells
+    /// execute on up to [`ExecutorConfig::shards`] workers. Each cell owns
+    /// a platform built from `seed`'s `("shard", client)` substream and
+    /// replays exactly one client's requests; outputs merge in canonical
+    /// cell order, so the result is byte-identical for every worker
+    /// budget.
+    fn run_sharded(
+        &self,
+        deployment: &Deployment,
+        trace: &WorkloadTrace,
+        seed: Seed,
+        rec: Option<&mut dyn Recorder>,
+    ) -> Result<RunResult, PlanError> {
+        let workers = self.cfg.shards.max(1);
+        let clients = self.cfg.clients.max(1);
+        let tracing = rec.as_deref().is_some_and(|r| r.enabled());
+        // Validate the deployment once up front so every cell below can
+        // assume it builds (build is deterministic in its seed).
+        deployment.build(seed.substream_indexed("shard", 0))?;
+
+        // Canonical cells: requests go to clients round-robin exactly as in
+        // the legacy splitter, and each client becomes one cell. The
+        // decomposition depends only on the trace and the client count,
+        // never on the worker budget.
+        let n = trace.arrivals().len();
+        let mut cells: Vec<Vec<(usize, SimTime)>> = vec![Vec::new(); clients];
+        for (i, &arrival) in trace.arrivals().iter().enumerate() {
+            cells[i % clients].push((i, arrival));
+        }
+
+        let ids: Vec<u32> = (0..clients as u32).collect();
+        let mut outs: Vec<(CellOutput, Option<MemoryRecorder>)> =
+            parallel_map(Jobs::new(workers), &ids, |_, &c| {
+                let cell_seed = seed.substream_indexed("shard", u64::from(c));
+                let platform = deployment
+                    .build(cell_seed)
+                    .expect("deployment validated above");
+                let mut cell_rec = if tracing {
+                    Some(MemoryRecorder::new())
+                } else {
+                    None
+                };
+                let out = ARENA.with(|arena| {
+                    self.run_cell(
+                        deployment,
+                        platform,
+                        trace.duration(),
+                        CellRequests::Client {
+                            client: c,
+                            arrivals: &cells[c as usize],
+                        },
+                        cell_seed,
+                        cell_rec.as_mut().map(|r| r as &mut dyn Recorder),
+                        &mut arena.borrow_mut(),
+                    )
+                });
+                (out, cell_rec)
+            });
+
+        // Merge in canonical cell order. Cell c's k-th record is global
+        // request c + k·clients, so records interleave back by index.
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(n);
+        for i in 0..n {
+            records.push(outs[i % clients].0.records[i / clients]);
+        }
+        let reports: Vec<PlatformReport> = outs.iter().map(|(o, _)| o.report.clone()).collect();
+        let engine_events: u64 = outs.iter().map(|(o, _)| o.engine_events).sum();
+        let client_faults: u64 = outs.iter().map(|(o, _)| o.client_faults).sum();
+        let retries: u64 = outs.iter().map(|(o, _)| o.retries).sum();
+
+        if let Some(r) = rec {
+            if r.enabled() {
+                // Replay each cell's buffered trace in cell order, dropping
+                // the per-cell closing summaries in favour of one merged
+                // RunClosed. Events are time-ordered within a cell, not
+                // globally; `slsb trace` views sort where it matters.
+                let _region = RegionGuard::enter(Region::Obs);
+                for (_, cell_rec) in &mut outs {
+                    let Some(m) = cell_rec.take() else { continue };
+                    for ev in m.into_events() {
+                        if matches!(ev.kind, EventKind::RunClosed { .. }) {
+                            continue;
+                        }
+                        r.record(&ev);
+                    }
+                }
+                let horizon = SimTime::ZERO
+                    + trace.duration()
+                    + self.cfg.timeout
+                    + SimDuration::from_secs(30);
+                r.record(&TraceEvent {
+                    at: horizon,
+                    kind: EventKind::RunClosed {
+                        engine_events,
+                        requests: n as u64,
+                    },
+                });
+            }
+        }
+
+        Ok(RunResult {
+            deployment: *deployment,
+            workload: trace.shared_name(),
+            duration: trace.duration(),
+            records,
+            platform: PlatformReport::merge_shards(&reports),
+            engine_events,
+            client_faults,
+            retries,
+        })
+    }
+
+    /// Replays one request set against one platform: the whole trace in
+    /// legacy mode, or a single client's shard cell. All run-lifetime
+    /// state lives in `arena`, recycled across calls on the same thread.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn run_cell<'a>(
+        &self,
+        deployment: &Deployment,
+        platform: Platform,
+        duration: SimDuration,
+        requests: CellRequests<'_>,
+        seed: Seed,
+        rec: Option<&'a mut dyn Recorder>,
+        arena: &'a mut RunArena,
+    ) -> CellOutput {
         let tracing = rec.as_deref().is_some_and(|r| r.enabled());
         let retrying = self.cfg.retry.enabled();
         let mut platform = platform;
         // An empty plan installs an injector that never draws, so this is
         // unconditional without costing byte-identity.
         platform.set_faults(&self.faults, seed);
-        platform.reserve(trace.arrivals().len());
-        let pool = self.pool_for(deployment.model, deployment.samples_per_request);
+        let n = match &requests {
+            CellRequests::RoundRobin { arrivals } => arrivals.len(),
+            CellRequests::Client { arrivals, .. } => arrivals.len(),
+        };
+        platform.reserve(n);
+        let clients = match &requests {
+            CellRequests::RoundRobin { .. } => self.cfg.clients.max(1),
+            CellRequests::Client { .. } => 1,
+        };
+
+        arena.begin();
+        if arena.per_client.len() < clients {
+            arena.per_client.resize_with(clients, Vec::new);
+        }
+        let RunArena {
+            client_rngs,
+            per_client,
+            plan,
+            payload_per_invocation,
+            inferences_per_invocation,
+            net_in,
+            deliver_at,
+            deadline,
+            attempt,
+            resolution,
+            inv_of,
+            spans,
+            responses,
+            resp_scratch,
+            buffer,
+            pool: pool_memo,
+        } = arena;
+
+        let input = if deployment.model.profile().image_input {
+            InputKind::Image
+        } else {
+            InputKind::Text
+        };
+        let pool = pooled(
+            pool_memo,
+            input,
+            self.cfg.pool_size,
+            deployment.samples_per_request,
+        );
 
         // Assign requests to clients round-robin (the paper's splitter) and
-        // draw payloads from the pool.
-        let n = trace.arrivals().len();
-        let clients = self.cfg.clients.max(1);
-        let mut client_rngs: Vec<_> = (0..clients)
-            .map(|c| seed.substream_indexed("client", c as u64).rng())
-            .collect();
+        // draw payloads from the pool. A shard cell has exactly one client
+        // slot; its RNG stream is still keyed by the client's id.
+        match &requests {
+            CellRequests::RoundRobin { .. } => client_rngs.extend(
+                (0..clients).map(|c| seed.substream_indexed("client", c as u64).rng()),
+            ),
+            CellRequests::Client { client, .. } => {
+                client_rngs.push(seed.substream_indexed("client", u64::from(*client)).rng());
+            }
+        }
         let mut records: Vec<RequestRecord> = Vec::with_capacity(n);
-        let mut per_client: Vec<Vec<(usize, SimTime)>> = vec![Vec::new(); clients];
-        for (i, &arrival) in trace.arrivals().iter().enumerate() {
-            let client = i % clients;
-            let payload = pool.pick(&mut client_rngs[client]);
-            records.push(RequestRecord {
-                index: i,
-                client: client as u32,
+        let blank = |index: usize, client: u32, arrival: SimTime, payload_bytes: u64| {
+            RequestRecord {
+                index,
+                client,
                 arrival,
                 sent_at: arrival,
-                payload_bytes: payload.size_bytes,
+                payload_bytes,
                 outcome: Outcome::Failure(FailureReason::ClientTimeout),
                 latency: None,
                 cold_start: None,
                 predict: SimDuration::ZERO,
                 queued: SimDuration::ZERO,
-            });
-            per_client[client].push((i, arrival));
+            }
+        };
+        match &requests {
+            CellRequests::RoundRobin { arrivals } => {
+                for (i, &arrival) in arrivals.iter().enumerate() {
+                    let slot = i % clients;
+                    let payload = pool.pick(&mut client_rngs[slot]);
+                    records.push(blank(i, slot as u32, arrival, payload.size_bytes));
+                    per_client[slot].push((i, arrival));
+                }
+            }
+            CellRequests::Client { client, arrivals } => {
+                for (local, &(global, arrival)) in arrivals.iter().enumerate() {
+                    let payload = pool.pick(&mut client_rngs[0]);
+                    records.push(blank(global, *client, arrival, payload.size_bytes));
+                    // Plan members index the *local* record table.
+                    per_client[0].push((local, arrival));
+                }
+            }
         }
 
         // Group each client's requests into invocations.
@@ -668,121 +1061,124 @@ impl Executor {
             } else {
                 BatchPolicy::None
             });
-        let mut invocations: Vec<Invocation> = Vec::with_capacity(n);
-        for arrivals in &per_client {
-            invocations.extend(plan_invocations(arrivals, policy));
+        for arrivals in per_client.iter().take(clients) {
+            plan_invocations_into(arrivals, policy, plan);
         }
+        let n_inv = plan.len();
         // Record when each request's invocation fired, and (when tracing)
         // which invocation carries each record — the join key to the
         // platform's per-invocation trace events.
-        let mut inv_of: Vec<u64> = if tracing { vec![0; n] } else { Vec::new() };
-        for (inv_idx, inv) in invocations.iter().enumerate() {
-            for &m in &inv.members {
-                records[m].sent_at = inv.send_at;
+        if tracing {
+            inv_of.resize(n, 0);
+        }
+        for inv_idx in 0..n_inv {
+            let send_at = plan.send_at(inv_idx);
+            for &m in plan.members(inv_idx) {
+                records[m as usize].sent_at = send_at;
                 if tracing {
-                    inv_of[m] = inv_idx as u64;
+                    inv_of[m as usize] = inv_idx as u64;
                 }
             }
         }
-        let payload_per_invocation: Vec<u64> = invocations
-            .iter()
-            .map(|inv| inv.members.iter().map(|&m| records[m].payload_bytes).sum())
-            .collect();
-        let inferences_per_invocation: Vec<u32> = invocations
-            .iter()
-            .map(|inv| inv.members.len() as u32 * deployment.inference_repeats)
-            .collect();
+        payload_per_invocation.extend((0..n_inv).map(|i| {
+            plan.members(i)
+                .iter()
+                .map(|&m| records[m as usize].payload_bytes)
+                .sum::<u64>()
+        }));
+        inferences_per_invocation
+            .extend((0..n_inv).map(|i| plan.members(i).len() as u32 * deployment.inference_repeats));
 
-        // Assemble the engine. Deliveries are scheduled up front so the
-        // system can own the invocation tables outright. First-attempt
-        // client-path jitter is drawn here in invocation order; retry-time
-        // draws then follow in event order — both deterministic.
+        // First-attempt client-path jitter is drawn here in invocation
+        // order; retry-time draws then follow in event order — both
+        // deterministic.
         let mut client_faults =
             FaultInjector::new(self.faults.clone(), seed.substream("client-faults"));
-        let net_in: Vec<SimDuration> = payload_per_invocation
-            .iter()
-            .map(|&bytes| self.cfg.network.transfer_time(bytes))
-            .collect();
-        let deliveries: Vec<(usize, SimTime, SimTime)> = invocations
-            .iter()
-            .enumerate()
-            .map(|(idx, inv)| {
-                (
-                    idx,
-                    inv.send_at,
-                    inv.send_at + net_in[idx] + client_faults.client_jitter(),
-                )
-            })
-            .collect();
-        let n_inv = invocations.len();
-        let deadline: Vec<SimTime> = if retrying {
-            invocations
+        net_in.extend(
+            payload_per_invocation
                 .iter()
-                .map(|inv| inv.send_at + self.cfg.timeout)
-                .collect()
-        } else {
-            Vec::new()
-        };
+                .map(|&bytes| self.cfg.network.transfer_time(bytes)),
+        );
+        deliver_at.extend(
+            (0..n_inv).map(|i| plan.send_at(i) + net_in[i] + client_faults.client_jitter()),
+        );
+        if retrying {
+            deadline.extend((0..n_inv).map(|i| plan.send_at(i) + self.cfg.timeout));
+            attempt.resize(n_inv, 1);
+            resolution.resize(n_inv, None);
+        }
         // Deliveries (and in retry mode, their timeouts) are scheduled up
         // front, so the queue's high-water mark is about one entry per
         // invocation plus in-flight platform events.
         let queue_cap = if retrying { 2 * n + 64 } else { n + 64 };
         let queue = EventQueue::with_kernel_and_capacity(self.kernel, queue_cap);
+        responses.reserve(n_inv);
         let mut engine = Engine::with_queue(
             ExecSystem {
                 platform,
-                invocations,
-                payload_per_invocation,
-                inferences_per_invocation,
-                responses: Vec::new(),
-                buffer: Vec::new(),
+                plan: &*plan,
+                payload_per_invocation: payload_per_invocation.as_slice(),
+                inferences_per_invocation: inferences_per_invocation.as_slice(),
+                responses,
+                resp_scratch,
+                buffer,
                 rec,
                 client_faults,
                 retry: self.cfg.retry,
                 n_inv,
-                net_in,
+                net_in: net_in.as_slice(),
                 response_net: self.cfg.network.response_time(),
-                deadline,
-                attempt: if retrying { vec![1; n_inv] } else { Vec::new() },
-                resolution: if retrying {
-                    vec![None; n_inv]
-                } else {
-                    Vec::new()
-                },
+                deadline: deadline.as_slice(),
+                attempt: attempt.as_mut_slice(),
+                resolution: resolution.as_mut_slice(),
                 retries_used: 0,
                 backoff_rng: seed.substream("retry-backoff").rng(),
             },
             queue,
         );
 
-        let horizon =
-            SimTime::ZERO + trace.duration() + self.cfg.timeout + SimDuration::from_secs(30);
+        let horizon = SimTime::ZERO + duration + self.cfg.timeout + SimDuration::from_secs(30);
 
         // Platform startup at t = 0.
         {
             let sys = &mut engine.system;
-            let startup_rec = sys.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
-            let mut sched =
-                PlatformScheduler::with_recorder(SimTime::ZERO, &mut sys.buffer, startup_rec);
-            sys.platform
-                .start(&mut sched, SimTime::ZERO + trace.duration());
-            for (d, e) in sys.buffer.drain(..) {
-                engine.queue.schedule_after(d, ExecEvent::Platform(e));
+            {
+                let _region = RegionGuard::enter(Region::Platform);
+                let startup_rec = sys.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+                let mut sched =
+                    PlatformScheduler::with_recorder(SimTime::ZERO, sys.buffer, startup_rec);
+                sys.platform.start(&mut sched, SimTime::ZERO + duration);
             }
+            engine.queue.schedule_many_after(
+                sys.buffer
+                    .drain(..)
+                    .map(|(d, e)| (d, ExecEvent::Platform(e))),
+            );
         }
 
         // Invocation deliveries: network transfer happens on the way in.
         // In retry mode each first attempt also arms its attempt timeout.
-        for (idx, send_at, deliver_at) in deliveries {
-            engine
-                .queue
-                .schedule_at(deliver_at, ExecEvent::Deliver(idx));
-            if retrying {
-                engine.queue.schedule_at(
-                    send_at + self.cfg.retry.attempt_timeout,
-                    ExecEvent::AttemptTimeout(idx),
-                );
-            }
+        // One batched kernel call replaces per-event dispatch; iteration
+        // order matches the legacy per-event loop, so sequence numbers —
+        // and therefore same-instant FIFO ties — are unchanged.
+        if retrying {
+            let attempt_timeout = self.cfg.retry.attempt_timeout;
+            engine.queue.schedule_many((0..n_inv).flat_map(|idx| {
+                [
+                    (deliver_at[idx], ExecEvent::Deliver(idx)),
+                    (
+                        plan.send_at(idx) + attempt_timeout,
+                        ExecEvent::AttemptTimeout(idx),
+                    ),
+                ]
+            }));
+        } else {
+            engine.queue.schedule_many(
+                deliver_at
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &at)| (at, ExecEvent::Deliver(idx))),
+            );
         }
 
         engine.run_until(horizon);
@@ -791,7 +1187,7 @@ impl Executor {
         // paper estimates hourly-billed systems "based on the actual
         // execution time"); the extra drain window exists only so late
         // responses can reach the clients.
-        let teardown = SimTime::ZERO + trace.duration() + SimDuration::from_secs(30);
+        let teardown = SimTime::ZERO + duration + SimDuration::from_secs(30);
         engine.system.platform.finalize(teardown.min(horizon));
         engine.system.drain_final();
 
@@ -800,22 +1196,22 @@ impl Executor {
         let response_net = self.cfg.network.response_time();
         let mut sys = engine.system;
         let recorder = sys.rec.take();
-        // Per-record span data, populated while resolving; only allocated
-        // when a recorder wants it.
-        let mut spans: Vec<Option<(SimTime, SimDuration, SimDuration, SimDuration)>> =
-            if tracing { vec![None; n] } else { Vec::new() };
+        // Per-record span data, populated while resolving; only sized when
+        // a recorder wants it.
+        if tracing {
+            spans.resize(n, None);
+        }
         if retrying {
             // Retry mode resolved invocations online, at client-receive
             // time; apply each invocation's fixed fate to its members.
             // Invocations with no resolution (still waiting at the horizon)
             // keep the default client-timeout outcome.
-            for inv_idx in 0..sys.invocations.len() {
+            for inv_idx in 0..n_inv {
                 let Some(res) = sys.resolution[inv_idx] else {
                     continue;
                 };
-                let inv = &sys.invocations[inv_idx];
-                for &m in &inv.members {
-                    let rec = &mut records[m];
+                for &m in sys.plan.members(inv_idx) {
+                    let rec = &mut records[m as usize];
                     rec.predict = res.predict;
                     rec.queued = res.queued;
                     rec.cold_start = res.cold_start;
@@ -837,7 +1233,7 @@ impl Executor {
                         // The winning attempt's exec time is approximated by
                         // its predict time (the retransmission history makes
                         // the phase algebra of the single-shot path moot).
-                        spans[m] = Some((
+                        spans[m as usize] = Some((
                             res.received_at,
                             sys.net_in[inv_idx],
                             res.predict,
@@ -847,13 +1243,12 @@ impl Executor {
                 }
             }
         } else {
-            for (inv_idx, resp) in &sys.responses {
-                let inv = &sys.invocations[*inv_idx];
+            for (inv_idx, resp) in sys.responses.iter() {
                 let receive = resp.completed_at + response_net;
                 let net_in = sys.net_in[*inv_idx];
-                let delivered = inv.send_at + net_in;
-                for &m in &inv.members {
-                    let rec = &mut records[m];
+                let delivered = sys.plan.send_at(*inv_idx) + net_in;
+                for &m in sys.plan.members(*inv_idx) {
+                    let rec = &mut records[m as usize];
                     let e2e = receive.saturating_duration_since(rec.arrival);
                     rec.predict = resp.predict;
                     rec.queued = resp.queued;
@@ -876,7 +1271,7 @@ impl Executor {
                         let exec = resp
                             .completed_at
                             .saturating_duration_since(delivered + resp.queued);
-                        spans[m] = Some((receive, net_in, exec, response_net));
+                        spans[m as usize] = Some((receive, net_in, exec, response_net));
                     }
                 }
             }
@@ -884,6 +1279,7 @@ impl Executor {
 
         if let Some(r) = recorder {
             if r.enabled() {
+                let _region = RegionGuard::enter(Region::Obs);
                 for (m, rec) in records.iter().enumerate() {
                     let (at, net_in, exec, net_out) = match spans[m] {
                         Some(s) => s,
@@ -936,12 +1332,9 @@ impl Executor {
             }
         }
 
-        RunResult {
-            deployment: *deployment,
-            workload: trace.name().to_string(),
-            duration: trace.duration(),
+        CellOutput {
             records,
-            platform: sys.platform.report(),
+            report: sys.platform.report(),
             engine_events,
             client_faults: sys.client_faults.injected(),
             retries: sys.retries_used,

@@ -117,6 +117,21 @@ pub fn replicate_jobs(
 ) -> Result<Replication, PlanError> {
     assert!(replicas > 0, "zero replicas");
 
+    // A sharded executor shares the worker budget with the replicate
+    // fan-out: replicas occupy up to `jobs` workers, so each run's shard
+    // cells get the leftover share (at least one, i.e. sequential cells).
+    // Shard results are worker-count independent, so this clamp only
+    // bounds thread count — it can never change a result.
+    let clamped;
+    let executor = match executor.shards() {
+        Some(requested) => {
+            let budget = crate::runner::shard_worker_budget(jobs.get(), replicas, requested);
+            clamped = executor.clone().with_shards(budget);
+            &clamped
+        }
+        None => executor,
+    };
+
     let seeds: Vec<Seed> = (0..replicas).map(|i| Seed(base_seed + i as u64)).collect();
     let per_seed = parallel_map(jobs, &seeds, |_, &seed| {
         let trace = workload.generate(seed.substream("replication-workload"));
@@ -207,6 +222,23 @@ mod tests {
         let r = replicate(&Executor::default(), &deployment(), workload(), 300, 1).unwrap();
         assert_eq!(r.cost.std_dev, 0.0);
         assert_eq!(r.cost.min, r.cost.max);
+    }
+
+    #[test]
+    fn sharded_replication_is_identical_across_worker_counts() {
+        // A sharded executor inside a replicate fan-out hits the worker
+        // budget clamp: jobs=1 leaves each run one shard worker, jobs=8
+        // splits the pool. Shard results are worker-count independent, so
+        // every combination must serialize identically.
+        let exec = Executor::default().with_shards(8);
+        let dep = deployment();
+        let seq = replicate_jobs(&exec, &dep, workload(), 400, 4, Jobs::new(1)).unwrap();
+        let par = replicate_jobs(&exec, &dep, workload(), 400, 4, Jobs::new(8)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap(),
+            "sharded replicate must be byte-identical across --jobs"
+        );
     }
 
     #[test]

@@ -118,6 +118,19 @@ where
         .collect()
 }
 
+/// Splits one worker budget between an outer fan-out (e.g. `--jobs`
+/// replicas) and the intra-run shard workers each task may spawn, so the
+/// two never oversubscribe: with `outer` tasks sharing `total` workers,
+/// each task's sharded runs get `max(1, total / min(outer, total))`
+/// workers, further capped at the `requested` shard budget. Shard results
+/// are worker-count independent, so clamping never changes any output —
+/// only how many threads exist at once.
+pub fn shard_worker_budget(total: usize, outer: usize, requested: usize) -> usize {
+    let total = total.max(1);
+    let active_outer = outer.clamp(1, total);
+    (total / active_outer).max(1).min(requested.max(1))
+}
+
 /// One independent simulation: a deployment serving one workload
 /// realization under one seed.
 #[derive(Debug, Clone, Copy)]
@@ -240,6 +253,22 @@ mod tests {
             parallel_map(Jobs::new(64), &[1u32, 2], |_, &x| x * 2),
             vec![2, 4]
         );
+    }
+
+    #[test]
+    fn shard_worker_budget_splits_without_oversubscribing() {
+        // (total workers, outer fan-out, requested shards) → per-task share.
+        assert_eq!(shard_worker_budget(8, 4, 8), 2);
+        assert_eq!(shard_worker_budget(8, 1, 4), 4);
+        // Requested caps the share even when workers are plentiful.
+        assert_eq!(shard_worker_budget(16, 1, 3), 3);
+        // More outer tasks than workers: every task degrades to sequential.
+        assert_eq!(shard_worker_budget(4, 8, 16), 1);
+        assert_eq!(shard_worker_budget(1, 5, 8), 1);
+        // Non-divisible splits round down but never below one.
+        assert_eq!(shard_worker_budget(16, 3, 100), 5);
+        // Degenerate inputs all clamp to one.
+        assert_eq!(shard_worker_budget(0, 0, 0), 1);
     }
 
     #[test]

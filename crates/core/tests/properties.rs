@@ -84,6 +84,44 @@ proptest! {
         }
     }
 
+    /// Intra-run sharding is worker-count invariant: the merged result of
+    /// a sharded run is byte-identical (serialized analysis and raw
+    /// records) for every shard budget, for any platform × seed, with and
+    /// without faults and retries active.
+    #[test]
+    fn sharded_runs_are_worker_count_invariant(
+        platform in any_platform(),
+        seed in 0u64..1000,
+        shards in 2usize..9,
+        faulted in prop::sample::select(vec![false, true]),
+        retrying in prop::sample::select(vec![false, true]),
+    ) {
+        let trace = small_trace(20.0, 60, seed);
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let mut exec = if retrying {
+            Executor::new(ExecutorConfig {
+                retry: RetryPolicy::standard(),
+                ..ExecutorConfig::default()
+            })
+        } else {
+            Executor::default()
+        };
+        if faulted {
+            let mut plan = FaultPlan::none();
+            plan.crash_mid_exec = 0.05;
+            plan.packet_loss = 0.05;
+            exec = exec.with_faults(plan);
+        }
+        let reference = exec.clone().with_shards(1).run(&dep, &trace, Seed(seed)).unwrap();
+        let sharded = exec.with_shards(shards).run(&dep, &trace, Seed(seed)).unwrap();
+        prop_assert_eq!(&reference.records, &sharded.records);
+        prop_assert_eq!(reference.engine_events, sharded.engine_events);
+        prop_assert_eq!(
+            serde_json::to_string(&analyze(&reference)).unwrap(),
+            serde_json::to_string(&analyze(&sharded)).unwrap()
+        );
+    }
+
     /// SLO attainment is monotone in the threshold and bounded by the
     /// success ratio.
     #[test]

@@ -120,6 +120,41 @@ impl PlatformReport {
     pub fn utilization(&self) -> Option<f64> {
         (self.instance_seconds > 0.0).then(|| (self.busy_seconds / self.instance_seconds).min(1.0))
     }
+
+    /// Folds per-shard reports into one fleet report, in slice order.
+    ///
+    /// Costs and counters sum exactly (money is integer micro-dollars, so
+    /// the fold is order-independent); the instance gauges merge through
+    /// [`GaugeSeries::merge_summed`] in canonical shard order. Called by the
+    /// sharded executor after all shards complete, so the result depends
+    /// only on the shard results themselves, never on execution order.
+    pub fn merge_shards(parts: &[PlatformReport]) -> PlatformReport {
+        let mut cost = CostBreakdown::default();
+        let mut cold_started = 0;
+        let mut invocations = 0;
+        let mut busy_seconds = 0.0;
+        let mut instance_seconds = 0.0;
+        let mut faults = 0;
+        for p in parts {
+            cost.compute += p.cost.compute;
+            cost.invocations += p.cost.invocations;
+            cost.provisioned += p.cost.provisioned;
+            cold_started += p.cold_started;
+            invocations += p.invocations;
+            busy_seconds += p.busy_seconds;
+            instance_seconds += p.instance_seconds;
+            faults += p.faults;
+        }
+        PlatformReport {
+            cost,
+            instances: GaugeSeries::merge_summed(parts.iter().map(|p| &p.instances)),
+            cold_started,
+            invocations,
+            busy_seconds,
+            instance_seconds,
+            faults,
+        }
+    }
 }
 
 /// Any of the simulated serving systems, behind one dispatching interface.
@@ -232,6 +267,20 @@ impl Platform {
             Platform::ManagedMl(p) => p.drain_responses(),
             Platform::Vm(p) => p.drain_responses(),
             Platform::Hybrid(p) => p.drain_responses(),
+        }
+    }
+
+    /// Moves responses completed since the last drain onto the back of
+    /// `out`. Unlike [`Platform::drain_responses`] this transfers into a
+    /// caller-owned buffer and leaves the platform's internal buffer with
+    /// its capacity intact, so the per-event drain in the executor's hot
+    /// loop allocates nothing in steady state.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<ServingResponse>) {
+        match self {
+            Platform::Serverless(p) => p.drain_responses_into(out),
+            Platform::ManagedMl(p) => p.drain_responses_into(out),
+            Platform::Vm(p) => p.drain_responses_into(out),
+            Platform::Hybrid(p) => p.drain_responses_into(out),
         }
     }
 

@@ -150,6 +150,14 @@ impl HybridPlatform {
         out
     }
 
+    /// Moves completed responses from both children onto `out` (VM first,
+    /// matching [`HybridPlatform::drain_responses`]), keeping each child's
+    /// buffer capacity.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<ServingResponse>) {
+        self.vm.drain_responses_into(out);
+        self.serverless.drain_responses_into(out);
+    }
+
     /// Closes billing on both children.
     pub fn finalize(&mut self, now: SimTime) {
         self.vm.finalize(now);

@@ -492,6 +492,12 @@ impl ManagedMlPlatform {
         std::mem::take(&mut self.responses)
     }
 
+    /// Moves completed responses onto `out`, keeping this platform's buffer
+    /// capacity for the next burst.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<ServingResponse>) {
+        out.append(&mut self.responses);
+    }
+
     /// Closes billing at the end of the run.
     pub fn finalize(&mut self, now: SimTime) {
         assert!(!self.finalized, "finalize called twice");

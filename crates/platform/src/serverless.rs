@@ -270,9 +270,19 @@ pub struct ServerlessPlatform {
     rng: SimRng,
     faults: FaultInjector,
     instances: IdMap<Instance>,
-    /// Idle instance ids, most-recently-used last (we pop from the back, so
-    /// the pool shrinks naturally and keep-alive reclaims the cold tail).
+    /// Idle on-demand instance ids, most-recently-used last (we pop from
+    /// the back, so the pool shrinks naturally and keep-alive reclaims the
+    /// cold tail).
     idle: Vec<u64>,
+    /// Idle provisioned instance ids, same discipline. Kept apart from the
+    /// on-demand pool so routing to provisioned capacity first is a pop
+    /// instead of a scan over every idle instance per request.
+    idle_provisioned: Vec<u64>,
+    /// Warm predict time including the configured predict factor, fixed by
+    /// the deployment, hoisted out of the per-request path.
+    warm_predict_base: SimDuration,
+    /// First (lazy-init) predict time including the predict factor.
+    first_predict_base: SimDuration,
     /// Invocations waiting for an execution environment (the router holds
     /// them while instances boot, exactly as Lambda/Cloud Functions hold
     /// pending invocations).
@@ -297,12 +307,20 @@ impl ServerlessPlatform {
     /// substream.
     pub fn new(cfg: ServerlessConfig, seed: Seed) -> Self {
         let meter = ServerlessMeter::new(cfg.params.pricing, cfg.memory_mb / 1024.0);
+        let vcpus = cfg.vcpus();
+        let warm_predict_base = predict_time(&cfg.model, &cfg.runtime, vcpus)
+            .mul_f64(cfg.params.predict_factor);
+        let first_predict_base = first_predict_time(&cfg.model, &cfg.runtime, vcpus)
+            .mul_f64(cfg.params.predict_factor);
         ServerlessPlatform {
             rng: seed.substream("serverless").rng(),
             faults: FaultInjector::disabled(),
             cfg,
             instances: IdMap::new(),
             idle: Vec::new(),
+            idle_provisioned: Vec::new(),
+            warm_predict_base,
+            first_predict_base,
             pending: VecDeque::new(),
             starting_demanded: 0,
             next_id: 0,
@@ -365,7 +383,7 @@ impl ServerlessPlatform {
                     last_used: sched.now(),
                 },
             );
-            self.idle.push(id);
+            self.idle_provisioned.push(id);
             self.gauge.record_delta(sched.now(), 1);
             sched.emit(|| EventKind::InstanceSpawn {
                 component: COMPONENT,
@@ -384,19 +402,14 @@ impl ServerlessPlatform {
     }
 
     fn warm_predict(&mut self, inferences: u32) -> SimDuration {
-        let p = predict_time(&self.cfg.model, &self.cfg.runtime, self.cfg.vcpus())
-            .mul_f64(self.cfg.params.predict_factor);
-        self.jitter(p * u64::from(inferences.max(1)))
+        self.jitter(self.warm_predict_base * u64::from(inferences.max(1)))
     }
 
     fn first_predict(&mut self, inferences: u32) -> SimDuration {
-        let vcpus = self.cfg.vcpus();
-        let warm = predict_time(&self.cfg.model, &self.cfg.runtime, vcpus)
-            .mul_f64(self.cfg.params.predict_factor);
-        let first = first_predict_time(&self.cfg.model, &self.cfg.runtime, vcpus)
-            .mul_f64(self.cfg.params.predict_factor);
         // Lazy init applies once; extra inferences run warm.
-        self.jitter(first + warm * u64::from(inferences.max(1) - 1))
+        self.jitter(
+            self.first_predict_base + self.warm_predict_base * u64::from(inferences.max(1) - 1),
+        )
     }
 
     /// Handles an arriving request.
@@ -459,6 +472,12 @@ impl ServerlessPlatform {
         std::mem::take(&mut self.responses)
     }
 
+    /// Moves completed responses onto `out`, keeping this platform's buffer
+    /// capacity for the next burst.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<ServingResponse>) {
+        out.append(&mut self.responses);
+    }
+
     /// Closes billing at the end of the run.
     pub fn finalize(&mut self, now: SimTime) {
         assert!(!self.finalized, "finalize called twice");
@@ -511,14 +530,9 @@ impl ServerlessPlatform {
     fn pick_idle(&mut self) -> Option<u64> {
         // Prefer provisioned instances (Lambda routes to provisioned
         // capacity first), then the most recently used warm instance.
-        if let Some(pos) = self
-            .idle
-            .iter()
-            .rposition(|id| self.instances[*id].provisioned)
-        {
-            return Some(self.idle.remove(pos));
-        }
-        self.idle.pop()
+        // Both pools are most-recently-used last, so this picks exactly
+        // the instance a scan over one mixed pool would.
+        self.idle_provisioned.pop().or_else(|| self.idle.pop())
     }
 
     fn execute_warm(
@@ -773,10 +787,7 @@ impl ServerlessPlatform {
                 // wave drained): warm up eagerly — download + load + lazy
                 // init. Neither provider bills instances that never served
                 // a request, so this time costs wall-clock only.
-                let vcpus = self.cfg.vcpus();
-                let lazy = first_predict_time(&self.cfg.model, &self.cfg.runtime, vcpus)
-                    .mul_f64(p.predict_factor);
-                let warmup = breakdown.download + breakdown.load + lazy;
+                let warmup = breakdown.download + breakdown.load + self.first_predict_base;
                 let inst = self.instances.get_mut(id).expect("instance exists");
                 inst.warm = true;
                 sched.emit(|| EventKind::InstanceWarm {
@@ -811,6 +822,7 @@ impl ServerlessPlatform {
         }
         inst.state = InstanceState::Idle;
         inst.last_used = now;
+        let provisioned = inst.provisioned;
         // A freed environment immediately takes the oldest pending
         // invocation, if any.
         if let Some(req) = self.pending.pop_front() {
@@ -818,7 +830,11 @@ impl ServerlessPlatform {
             self.execute_warm(sched, id, req, queued);
             return;
         }
-        self.idle.push(id);
+        if provisioned {
+            self.idle_provisioned.push(id);
+        } else {
+            self.idle.push(id);
+        }
         sched.schedule(
             self.cfg.params.keep_alive,
             PlatformEvent::Serverless(ServerlessEvent::ReclaimCheck(id)),

@@ -13,6 +13,7 @@
 //! Both deliver the exact same `(time, sequence)` order, so switching
 //! kernels never changes a simulation's results, only its speed.
 
+use crate::alloc::{Region, RegionGuard};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
@@ -158,6 +159,7 @@ impl<E> EventQueue<E> {
             "causality violation: scheduling at {at} but now is {now}",
             now = self.now
         );
+        let _r = RegionGuard::enter(Region::Kernel);
         let s = Scheduled {
             at,
             seq: self.seq,
@@ -168,6 +170,62 @@ impl<E> EventQueue<E> {
             Store::Wheel(w) => w.insert(s),
             Store::Heap(h) => h.push(s),
         }
+    }
+
+    /// Schedules a batch of events in iteration order.
+    ///
+    /// Exactly equivalent to calling [`EventQueue::schedule_at`] once per
+    /// item — sequence numbers are assigned in iteration order, so
+    /// same-instant events pop FIFO in batch order — but the kernel dispatch
+    /// and causality check setup are paid once per batch instead of once per
+    /// event. This is the entry point platforms and the executor use for
+    /// bursts: initial deliveries, batch dispatch, retry storms,
+    /// outage-window re-queues.
+    ///
+    /// # Panics
+    /// Panics if any event's instant is before the current time.
+    pub fn schedule_many<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let _r = RegionGuard::enter(Region::Kernel);
+        let now = self.now;
+        match &mut self.store {
+            Store::Wheel(w) => {
+                for (at, ev) in events {
+                    assert!(at >= now, "causality violation: scheduling at {at} but now is {now}");
+                    let s = Scheduled {
+                        at,
+                        seq: self.seq,
+                        ev,
+                    };
+                    self.seq += 1;
+                    w.insert(s);
+                }
+            }
+            Store::Heap(h) => {
+                for (at, ev) in events {
+                    assert!(at >= now, "causality violation: scheduling at {at} but now is {now}");
+                    let s = Scheduled {
+                        at,
+                        seq: self.seq,
+                        ev,
+                    };
+                    self.seq += 1;
+                    h.push(s);
+                }
+            }
+        }
+    }
+
+    /// [`EventQueue::schedule_many`] with per-event delays relative to the
+    /// current time.
+    pub fn schedule_many_after<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimDuration, E)>,
+    {
+        let now = self.now;
+        self.schedule_many(events.into_iter().map(|(delay, ev)| (now + delay, ev)));
     }
 
     /// Schedules `ev` to fire `delay` after the current time.
@@ -184,6 +242,7 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let _r = RegionGuard::enter(Region::Kernel);
         let s = match &mut self.store {
             Store::Wheel(w) => w.pop()?,
             Store::Heap(h) => h.pop()?,
@@ -199,6 +258,7 @@ impl<E> EventQueue<E> {
     /// One kernel operation per delivered event — this is the hot path of
     /// [`Engine::run_until`].
     pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let _r = RegionGuard::enter(Region::Kernel);
         let s = match &mut self.store {
             Store::Wheel(w) => w.pop_at_or_before(horizon)?,
             Store::Heap(h) => {
@@ -596,6 +656,73 @@ mod tests {
         q.advance_to(SimTime::from_micros(50));
         assert_eq!(q.now(), SimTime::from_micros(50));
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(700.0)));
+    }
+
+    /// `schedule_many` must be observationally identical to calling
+    /// `schedule` once per item — including sequence assignment, so
+    /// same-instant ties pop FIFO in batch order, interleaved correctly
+    /// with singly-scheduled events before and after the batch.
+    #[test]
+    fn schedule_many_matches_repeated_schedule() {
+        let t = |us: u64| SimTime::from_micros(us);
+        // Mix of ties (three events at 50), out-of-order times, a
+        // behind-the-batch instant, and far-future outliers.
+        let batch: Vec<(SimTime, u32)> = vec![
+            (t(50), 10),
+            (t(20), 11),
+            (t(50), 12),
+            (t(5_000_000), 13),
+            (t(50), 14),
+            (t(7), 15),
+        ];
+        for kernel in KERNELS {
+            let mut one: EventQueue<u32> = EventQueue::with_kernel(kernel);
+            let mut many: EventQueue<u32> = EventQueue::with_kernel(kernel);
+            for q in [&mut one, &mut many] {
+                q.schedule_at(t(50), 0); // pre-existing tie at the batch instant
+                q.schedule_at(t(3), 1);
+            }
+            for &(at, ev) in &batch {
+                one.schedule_at(at, ev);
+            }
+            many.schedule_many(batch.iter().copied());
+            for q in [&mut one, &mut many] {
+                q.schedule_at(t(50), 2); // post-batch tie must pop after the batch's
+            }
+            let drain = |q: &mut EventQueue<u32>| {
+                let mut out = Vec::new();
+                while let Some(p) = q.pop() {
+                    out.push(p);
+                }
+                out
+            };
+            let a = drain(&mut one);
+            let b = drain(&mut many);
+            assert_eq!(a, b, "{}", kernel.name());
+            // And the tie order itself is pinned: batch order 10, 12, 14
+            // between the pre- and post-batch events at t=50.
+            let ties: Vec<u32> = b
+                .iter()
+                .filter(|&&(at, _)| at == t(50))
+                .map(|&(_, e)| e)
+                .collect();
+            assert_eq!(ties, vec![0, 10, 12, 14, 2], "{}", kernel.name());
+        }
+    }
+
+    /// `schedule_many_after` offsets every delay from the same `now`.
+    #[test]
+    fn schedule_many_after_offsets_from_now() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), 0);
+        q.pop();
+        q.schedule_many_after([
+            (SimDuration::from_micros(5), 1),
+            (SimDuration::ZERO, 2),
+        ]);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(15), 1)));
+        assert_eq!(q.pop(), None);
     }
 
     /// Deterministic pseudo-random stress: the wheel and the heap must

@@ -35,6 +35,7 @@
 //! assert_eq!(engine.now(), SimTime::from_secs_f64(3.0));
 //! ```
 
+pub mod alloc;
 pub mod event;
 pub mod rng;
 pub mod stats;

@@ -3,11 +3,16 @@
 use serde::{Deserialize, Serialize};
 use slsb_sim::{SimDuration, SimTime};
 use std::fmt;
+use std::sync::Arc;
 
 /// A fully materialized workload: every request's arrival instant, sorted.
+///
+/// The name is interned (`Arc<str>`): results and analyses that label
+/// themselves with the workload share the trace's one allocation instead
+/// of cloning the string per run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadTrace {
-    name: String,
+    name: Arc<str>,
     duration: SimDuration,
     arrivals: Vec<SimTime>,
 }
@@ -18,7 +23,11 @@ impl WorkloadTrace {
     ///
     /// # Panics
     /// Panics if any arrival exceeds `duration`.
-    pub fn new(name: impl Into<String>, duration: SimDuration, mut arrivals: Vec<SimTime>) -> Self {
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        duration: SimDuration,
+        mut arrivals: Vec<SimTime>,
+    ) -> Self {
         arrivals.sort_unstable();
         if let Some(&last) = arrivals.last() {
             assert!(
@@ -36,6 +45,12 @@ impl WorkloadTrace {
     /// Human-readable workload name (e.g. `"workload-120"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned name: a shared handle, cloning which never copies the
+    /// string. Run results label themselves with this.
+    pub fn shared_name(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// Nominal workload duration (the paper uses ~15 minutes).

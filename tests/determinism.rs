@@ -339,6 +339,101 @@ fn span_phases_sum_to_latency() {
 }
 
 #[test]
+fn sharded_runs_are_identical_for_any_worker_budget() {
+    // The intra-run sharding contract: the merged result of a sharded run
+    // is byte-identical for every shard worker budget — across platform
+    // families, with fault injection and retries active, trace recording
+    // on. `shards(1)` is the sequential reference; higher budgets differ
+    // only in how many threads replay cells.
+    let seed = Seed(314);
+    let tr = trace(seed);
+    let mut plan = FaultPlan::none();
+    plan.crash_mid_exec = 0.05;
+    plan.packet_loss = 0.05;
+    let retry_cfg = ExecutorConfig {
+        retry: RetryPolicy::standard(),
+        ..ExecutorConfig::default()
+    };
+    for platform in [
+        PlatformKind::AwsServerless,
+        PlatformKind::AwsManagedMl,
+        PlatformKind::AwsCpu,
+        PlatformKind::GcpGpu,
+    ] {
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115);
+        let variants = [
+            ("plain", Executor::default()),
+            ("faulted", Executor::default().with_faults(plan.clone())),
+            ("retrying", Executor::new(retry_cfg).with_faults(plan.clone())),
+        ];
+        for (label, base) in variants {
+            let dump = |workers: usize| -> (String, Vec<u8>) {
+                let exec = base.clone().with_shards(workers);
+                let mut buf = Vec::new();
+                let mut rec = JsonlRecorder::new(&mut buf);
+                let run = exec.run_recorded(&dep, &tr, seed, &mut rec).unwrap();
+                rec.finish().unwrap();
+                (serde_json_digest(&analyze(&run)), buf)
+            };
+            let reference = dump(1);
+            assert!(!reference.1.is_empty());
+            for workers in [2, 8] {
+                let sharded = dump(workers);
+                assert_eq!(
+                    reference.0, sharded.0,
+                    "{platform:?}/{label}: shards({workers}) analysis must equal shards(1)"
+                );
+                assert_eq!(
+                    reference.1, sharded.1,
+                    "{platform:?}/{label}: shards({workers}) trace must equal shards(1)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_arena_recycling_is_invisible() {
+    // The executor recycles run-lifetime buffers in a thread-local arena.
+    // A run's bytes must not depend on what ran before it on the same
+    // thread: a run on a dirty arena (after runs of different shapes and
+    // platforms) must match the same run on a brand-new thread whose arena
+    // has never been used.
+    let seed = Seed(4242);
+    let dep = |p: PlatformKind| Deployment::new(p, ModelKind::MobileNet, RuntimeKind::Tf115);
+    let fresh = std::thread::spawn(move || {
+        let tr = trace(seed);
+        let run = Executor::default()
+            .run(&dep(PlatformKind::AwsServerless), &tr, seed)
+            .unwrap();
+        serde_json_digest(&analyze(&run))
+    })
+    .join()
+    .unwrap();
+
+    let exec = Executor::default();
+    let tr = trace(seed);
+    // Dirty the arena: different trace sizes, platforms, and a sharded run.
+    let other = trace(Seed(777));
+    exec.run(&dep(PlatformKind::AwsCpu), &other, Seed(777))
+        .unwrap();
+    exec.run(&dep(PlatformKind::AwsManagedMl), &tr, Seed(9))
+        .unwrap();
+    exec.clone()
+        .with_shards(2)
+        .run(&dep(PlatformKind::AwsServerless), &tr, seed)
+        .unwrap();
+    let reused = exec
+        .run(&dep(PlatformKind::AwsServerless), &tr, seed)
+        .unwrap();
+    assert_eq!(
+        fresh,
+        serde_json_digest(&analyze(&reused)),
+        "a recycled arena must not leak state between runs"
+    );
+}
+
+#[test]
 fn exploration_is_identical_across_worker_counts() {
     let seed = Seed(23);
     let tr = trace(seed);

@@ -247,6 +247,21 @@ impl Serialize for &str {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
 impl Deserialize for &'static str {
     fn from_content(c: &Content) -> Result<Self, DeError> {
         // `&'static str` fields (workload names) can only be rebuilt by
