@@ -20,10 +20,11 @@ use slsb_bench::cli::extract_log_level;
 use slsb_bench::perf;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
-    Deployment, Executor, ExplorerGrid, Jobs, RetryPolicy, Scenario, Table, WorkloadSpec,
+    run_metrics, slo_metrics, slo_samples, Deployment, Executor, ExplorerGrid, Jobs, RetryPolicy,
+    Scenario, SloSample, SloSpec, Table, WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
-use slsb_obs::{set_log_level, trace_view, JsonlRecorder};
+use slsb_obs::{set_log_level, trace_view, JsonlRecorder, Profile};
 use slsb_platform::{FaultPlan, PlatformKind};
 use slsb_sim::Seed;
 use slsb_workload::MmppPreset;
@@ -38,9 +39,11 @@ const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N] [--shards N]
-  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--seed N] [--shards N]
-  slsb trace     <trace.jsonl>
-  slsb bench     [--quick] [--out FILE]
+  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--slo SPEC] [--seed N] [--shards N] [--profile FILE] [--metrics-out FILE]
+  slsb trace     <trace.jsonl> [--slo SPEC]
+  slsb profile   <profile.json> [--top N] [--collapsed]
+  slsb diff      <baseline> <candidate>
+  slsb bench     [--quick] [--out FILE] [--check]
 
 --jobs N runs N simulations in parallel (default: all cores; results are
 bit-identical to --jobs 1 for any N).
@@ -56,13 +59,28 @@ run --faults FILE overrides the scenario's fault-injection plan with a
 JSON FaultPlan; --retry SPEC sets the client retry policy (SPEC is
 'off' or comma-separated key=value pairs: attempts=N timeout=S base=S
 max=S jitter=F budget=N, e.g. 'attempts=3,base=0.5'); --seed N
-overrides the scenario seed.
+overrides the scenario seed; --slo SPEC scores the run against
+service-level objectives (SPEC is comma-separated key=value pairs:
+p50=S p99=S sr=F cost1k=D, optionally per-tenant with key@client, e.g.
+'p99=0.5,sr=0.99,p99@2=1.0'); --profile FILE enables the deterministic
+self-profiler and writes the region tree as JSON (trace bytes are
+unaffected); --metrics-out FILE writes the run's metrics registry as a
+stable-ordered JSON snapshot.
 trace renders a recorded file: per-request waterfall, phase attribution,
-cold-start breakdown, fault attribution, and per-instance timelines.
+cold-start breakdown, fault attribution, and per-instance timelines;
+trace --slo SPEC scores the recorded spans against objectives (cost
+objectives are skipped — traces carry no billing data).
+profile renders a profile written by run --profile: the region tree by
+default, --top N the hottest regions by exclusive time, --collapsed
+flamegraph-collapsed lines (path;to;region <exclusive-us>).
+diff compares two artifacts of the same kind (trace JSONL, metrics
+snapshot, profile, or bench report) against regression thresholds and
+exits 2 when the candidate regressed.
 bench measures event-kernel and end-to-end throughput for both the
 timer-wheel and the reference binary-heap kernel and writes the report
 to FILE (default BENCH_kernel.json); --quick runs a smaller smoke-test
-matrix.
+matrix; --check runs a quick measurement and gates it against the
+committed FILE without overwriting it.
 
 platforms: aws-serverless gcp-serverless aws-managedml gcp-managedml aws-cpu gcp-cpu aws-gpu gcp-gpu";
 
@@ -327,8 +345,11 @@ struct RunOptions {
     trace_out: Option<String>,
     faults: Option<String>,
     retry: Option<String>,
+    slo: Option<String>,
     seed: Option<u64>,
     shards: Option<usize>,
+    profile_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 /// Removes `flag VALUE` from `args` wherever it appears, returning the
@@ -353,6 +374,9 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
         trace_out: take_flag(&mut args, "--trace")?,
         faults: take_flag(&mut args, "--faults")?,
         retry: take_flag(&mut args, "--retry")?,
+        slo: take_flag(&mut args, "--slo")?,
+        profile_out: take_flag(&mut args, "--profile")?,
+        metrics_out: take_flag(&mut args, "--metrics-out")?,
         seed: take_flag(&mut args, "--seed")?
             .map(|v| v.parse().map_err(|_| format!("bad seed {v:?}")))
             .transpose()?,
@@ -386,12 +410,24 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
         scenario.executor.retry =
             RetryPolicy::parse_spec(spec).map_err(|e| format!("--retry {spec:?}: {e}"))?;
     }
+    if let Some(spec) = &opts.slo {
+        scenario.slo = SloSpec::parse(spec)?;
+    }
     if let Some(seed) = opts.seed {
         scenario.seed = seed;
     }
     if let Some(shards) = opts.shards {
         scenario.executor.shards = shards;
     }
+    // The profiler is enabled only when a sink was requested: the disabled
+    // path is one relaxed atomic load per guard, and trace bytes are
+    // identical either way.
+    let profiling = opts.profile_out.is_some();
+    if profiling {
+        slsb_sim::prof::reset();
+        slsb_sim::prof::enable(true);
+    }
+    let wall_start = std::time::Instant::now();
     let mut trace_events = None;
     let (run, a) = match opts.trace_out.as_deref() {
         None => scenario.run().map_err(|e| e.to_string())?,
@@ -408,6 +444,10 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
             result
         }
     };
+    let wall = wall_start.elapsed().as_secs_f64();
+    if profiling {
+        slsb_sim::prof::enable(false);
+    }
     println!("# {}\n", scenario.name);
     println!("deployment    : {}", scenario.deployment.label());
     println!("requests      : {}", a.total);
@@ -426,6 +466,32 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
         "\n{}",
         ascii_chart("mean latency per 10s bucket (s)", &series, 8)
     );
+    let slo_report = if scenario.slo.is_empty() {
+        None
+    } else {
+        let samples = slo_samples(&run);
+        let report = scenario.slo.evaluate(&samples, Some(a.cost_dollars()));
+        println!("{}", report.render());
+        Some(report)
+    };
+    if let Some(out) = &opts.metrics_out {
+        let mut m = run_metrics(&run);
+        if let Some(report) = &slo_report {
+            slo_metrics(&mut m, report);
+        }
+        let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("metrics written to {out}");
+    }
+    if let Some(out) = &opts.profile_out {
+        let profile = Profile::new(slsb_sim::prof::take(), wall);
+        std::fs::write(out, profile.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "profile written to {out} ({:.1}% of {:.3}s wall attributed)",
+            profile.attributed_frac * 100.0,
+            profile.wall_secs
+        );
+    }
     Ok(())
 }
 
@@ -444,19 +510,34 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 struct BenchArgs {
     quick: bool,
     out: String,
+    check: bool,
 }
 
 fn parse_bench_args(rest: &[String]) -> Result<BenchArgs, String> {
     let mut args: Vec<String> = rest.to_vec();
     let out = take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_kernel.json".to_string());
     let quick = take_switch(&mut args, "--quick");
+    let check = take_switch(&mut args, "--check");
     if !args.is_empty() {
         return Err(format!("unexpected bench arguments {args:?}\n{USAGE}"));
     }
-    Ok(BenchArgs { quick, out })
+    Ok(BenchArgs { quick, out, check })
 }
 
 fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
+    if args.check {
+        // Gate mode: a quick measurement against the committed report,
+        // leaving the file untouched. Absolute floors always apply; the
+        // speedup ratio is only compared when the baseline recorded one.
+        let baseline = std::fs::read_to_string(&args.out)
+            .map_err(|e| format!("cannot read baseline {}: {e}", args.out))?;
+        println!("Checking kernel throughput against {}...\n", args.out);
+        let report = perf::run_benchmarks(&perf::BenchConfig { quick: true })?;
+        println!("{}", perf::summary(&report));
+        let verdict = perf::check_against(&report, &baseline)?;
+        println!("\n{verdict}");
+        return Ok(());
+    }
     let mode = if args.quick { "quick" } else { "full" };
     println!("Measuring kernel throughput (wheel vs heap, {mode} matrix)...\n");
     let mut report = perf::run_benchmarks(&perf::BenchConfig { quick: args.quick })?;
@@ -473,9 +554,20 @@ fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(path: &str) -> Result<(), String> {
+/// Splits `slsb trace` arguments into the trace path and its flags.
+fn parse_trace_args(rest: &[String]) -> Result<(String, Option<String>), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let slo = take_flag(&mut args, "--slo")?;
+    match args.as_slice() {
+        [path] => Ok((path.clone(), slo)),
+        [] => Err(format!("trace needs a trace file\n{USAGE}")),
+        other => Err(format!("unexpected trace arguments {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_trace(path: &str, slo: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let events = trace_view::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = trace_view::parse_jsonl_strict(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("# trace: {path}\n");
     println!("trace events  : {}", events.len());
     match trace_view::run_closed(&events) {
@@ -491,7 +583,83 @@ fn cmd_trace(path: &str) -> Result<(), String> {
     println!("{}", trace_view::fault_attribution(&events));
     println!("{}", trace_view::waterfall(&events, 20));
     println!("{}", trace_view::instance_timeline(&events, 20));
+    if let Some(spec) = slo {
+        let spec = SloSpec::parse(spec)?;
+        // A replayed trace carries latencies and outcomes but no billing
+        // data, so cost objectives are skipped (evaluate notes this).
+        let samples: Vec<SloSample> = trace_view::spans(&events)
+            .iter()
+            .map(|s| SloSample {
+                client: s.client,
+                ok: s.outcome.is_success(),
+                latency_s: s.total().as_secs_f64(),
+            })
+            .collect();
+        println!("{}", spec.evaluate(&samples, None).render());
+    }
     Ok(())
+}
+
+/// Flags accepted by `slsb profile`.
+#[derive(Debug, PartialEq)]
+struct ProfileArgs {
+    path: String,
+    top: Option<usize>,
+    collapsed: bool,
+}
+
+fn parse_profile_args(rest: &[String]) -> Result<ProfileArgs, String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let top = take_flag(&mut args, "--top")?
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad top {v:?} (must be >= 1)")),
+        })
+        .transpose()?;
+    let collapsed = take_switch(&mut args, "--collapsed");
+    match args.as_slice() {
+        [path] => Ok(ProfileArgs {
+            path: path.clone(),
+            top,
+            collapsed,
+        }),
+        [] => Err(format!("profile needs a profile file\n{USAGE}")),
+        other => Err(format!("unexpected profile arguments {other:?}\n{USAGE}")),
+    }
+}
+
+fn cmd_profile(args: &ProfileArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let profile = Profile::from_json(&text).map_err(|e| format!("{}: {e}", args.path))?;
+    if args.collapsed {
+        print!("{}", profile.render_collapsed());
+    } else if let Some(n) = args.top {
+        println!("{}", profile.render_top(n));
+    } else {
+        println!("{}", profile.render_tree());
+    }
+    Ok(())
+}
+
+/// Exit code for `slsb diff` when the candidate regressed: distinct from
+/// 1 (usage/parse errors) so CI can tell "broken invocation" from
+/// "measured regression".
+const DIFF_REGRESSED: u8 = 2;
+
+fn cmd_diff(baseline: &str, candidate: &str) -> Result<ExitCode, String> {
+    let a = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("cannot read {baseline}: {e}"))?;
+    let b = std::fs::read_to_string(candidate)
+        .map_err(|e| format!("cannot read {candidate}: {e}"))?;
+    let report = slsb_bench::diff(&a, &b).map_err(|e| format!("diff {baseline} {candidate}: {e}"))?;
+    println!("# diff: {baseline} -> {candidate}\n");
+    print!("{}", report.render());
+    if report.regressed() {
+        Ok(ExitCode::from(DIFF_REGRESSED))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn main() -> ExitCode {
@@ -509,15 +677,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
-        "compare" => parse_options(rest).and_then(|o| cmd_compare(&o)),
-        "explore" => parse_options(rest).and_then(|o| cmd_explore(&o)),
-        "replicate" => parse_options(rest).and_then(|o| cmd_replicate(&o)),
-        "run" => parse_run_args(rest).and_then(|(path, opts)| cmd_run(&path, &opts)),
-        "trace" => match rest {
-            [path] => cmd_trace(path),
-            _ => Err("trace needs exactly one trace file".into()),
+        "compare" => parse_options(rest).and_then(|o| cmd_compare(&o)).map(ok),
+        "explore" => parse_options(rest).and_then(|o| cmd_explore(&o)).map(ok),
+        "replicate" => parse_options(rest)
+            .and_then(|o| cmd_replicate(&o))
+            .map(ok),
+        "run" => parse_run_args(rest)
+            .and_then(|(path, opts)| cmd_run(&path, &opts))
+            .map(ok),
+        "trace" => parse_trace_args(rest)
+            .and_then(|(path, slo)| cmd_trace(&path, slo.as_deref()))
+            .map(ok),
+        "profile" => parse_profile_args(rest).and_then(|a| cmd_profile(&a)).map(ok),
+        "diff" => match rest {
+            [a, b] => cmd_diff(a, b),
+            _ => Err(format!("diff needs exactly two files\n{USAGE}")),
         },
-        "bench" => parse_bench_args(rest).and_then(|a| cmd_bench(&a)),
+        "bench" => parse_bench_args(rest).and_then(|a| cmd_bench(&a)).map(ok),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -525,12 +701,18 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Collapses a unit success into the success exit code (`cmd_diff` is
+/// the one command with a third exit state).
+fn ok(_: ()) -> ExitCode {
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -646,7 +828,8 @@ mod tests {
             a,
             BenchArgs {
                 quick: false,
-                out: "BENCH_kernel.json".to_string()
+                out: "BENCH_kernel.json".to_string(),
+                check: false
             }
         );
         let a = parse_bench_args(&strs(&["--quick", "--out", "x.json"])).unwrap();
@@ -654,13 +837,57 @@ mod tests {
             a,
             BenchArgs {
                 quick: true,
-                out: "x.json".to_string()
+                out: "x.json".to_string(),
+                check: false
             }
         );
         // Flags in the other order work too; stray arguments do not.
         assert!(parse_bench_args(&strs(&["--out", "x.json", "--quick"])).is_ok());
+        assert!(parse_bench_args(&strs(&["--check"])).unwrap().check);
         assert!(parse_bench_args(&strs(&["extra"])).is_err());
         assert!(parse_bench_args(&strs(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn run_args_accept_slo_profile_and_metrics_flags() {
+        let (path, o) = parse_run_args(&strs(&[
+            "scenario.json",
+            "--slo",
+            "p99=0.5,sr=0.99",
+            "--profile",
+            "profile.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        assert_eq!(path, "scenario.json");
+        assert_eq!(o.slo.as_deref(), Some("p99=0.5,sr=0.99"));
+        assert_eq!(o.profile_out.as_deref(), Some("profile.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
+    }
+
+    #[test]
+    fn trace_and_profile_args_parse() {
+        let (path, slo) = parse_trace_args(&strs(&["t.jsonl", "--slo", "p50=0.1"])).unwrap();
+        assert_eq!(path, "t.jsonl");
+        assert_eq!(slo.as_deref(), Some("p50=0.1"));
+        assert!(parse_trace_args(&strs(&["--slo", "p50=0.1"])).is_err());
+        assert!(parse_trace_args(&strs(&["a", "b"])).is_err());
+
+        let a = parse_profile_args(&strs(&["p.json", "--top", "5"])).unwrap();
+        assert_eq!(
+            a,
+            ProfileArgs {
+                path: "p.json".to_string(),
+                top: Some(5),
+                collapsed: false
+            }
+        );
+        assert!(parse_profile_args(&strs(&["p.json", "--collapsed"]))
+            .unwrap()
+            .collapsed);
+        assert!(parse_profile_args(&strs(&["p.json", "--top", "0"])).is_err());
+        assert!(parse_profile_args(&[]).is_err());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! benches. See [`experiments`] for the index.
 
 pub mod cli;
+pub mod diff;
 pub mod experiments;
 pub mod perf;
 
+pub use diff::{diff, ArtifactKind, DiffReport};
 pub use experiments::{run_experiment, ExperimentOutput, ReproConfig};
 pub use perf::{run_benchmarks, BenchConfig, BenchReport, CountingAllocator};

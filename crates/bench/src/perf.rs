@@ -429,26 +429,35 @@ fn empty_trajectory() -> Vec<TrajectoryEntry> {
     Vec::new()
 }
 
-/// The subset of a prior report `slsb bench` carries forward. A v1 file
-/// has no trajectory, so the field defaults to empty — upgrading is
-/// seamless and a corrupt file degrades to starting history afresh.
+/// The subset of a prior report `slsb bench` carries forward or checks
+/// against. A v1 file has no trajectory, so the field defaults to empty —
+/// upgrading is seamless and a corrupt file degrades to starting history
+/// afresh.
 #[derive(Deserialize)]
 struct PriorReport {
     #[serde(default = "empty_trajectory")]
     trajectory: Vec<TrajectoryEntry>,
+    #[serde(default = "Default::default")]
+    end_to_end_speedup: Option<f64>,
 }
 
 /// Extends `report.trajectory` with the history parsed from
 /// `prior_json` (the report file being replaced, if any), then appends
-/// the current run's headline numbers as the newest entry.
+/// the current run's headline numbers as the newest entry. Re-running on
+/// a commit that already has an entry *replaces* that entry — one row
+/// per revision, so iterating on a branch does not flood the history.
 pub fn append_trajectory(report: &mut BenchReport, prior_json: Option<&str>) {
     if let Some(text) = prior_json {
         if let Ok(prior) = serde_json::from_str::<PriorReport>(text) {
             report.trajectory = prior.trajectory;
         }
     }
+    let rev = git_short_rev();
+    if rev != "unknown" {
+        report.trajectory.retain(|e| e.rev != rev);
+    }
     report.trajectory.push(TrajectoryEntry {
-        rev: git_short_rev(),
+        rev,
         date: today_utc(),
         quick: report.quick,
         end_to_end_events_per_sec: report
@@ -460,6 +469,60 @@ pub fn append_trajectory(report: &mut BenchReport, prior_json: Option<&str>) {
         kernel_speedup: report.kernel_speedup,
         end_to_end_speedup: report.end_to_end_speedup,
     });
+}
+
+/// Maximum allocations per request the zero-alloc arena is graded on
+/// (shared with the verify.sh bench gate).
+pub const ALLOCS_PER_REQUEST_CEILING: f64 = 2.0;
+
+/// Minimum measured/committed end-to-end speedup ratio before a run
+/// counts as a regression (quick-mode runs are noisy; this matches the
+/// slack verify.sh allows).
+pub const SPEEDUP_RATIO_FLOOR: f64 = 0.8;
+
+/// Grades a fresh report against the committed baseline with the
+/// verify.sh thresholds: every row must have positive throughput, the
+/// allocations-per-request headline must stay under
+/// [`ALLOCS_PER_REQUEST_CEILING`], and the wheel-over-heap end-to-end
+/// speedup must stay within [`SPEEDUP_RATIO_FLOOR`] of the baseline's.
+///
+/// # Errors
+/// Returns the first threshold violation (or a baseline parse error) as
+/// a human-readable string; `Ok` carries a one-line pass summary.
+pub fn check_against(report: &BenchReport, baseline_json: &str) -> Result<String, String> {
+    let baseline: PriorReport = serde_json::from_str(baseline_json)
+        .map_err(|e| format!("baseline does not parse as a bench report: {e}"))?;
+    for b in &report.schedule_pop {
+        if b.events_per_sec <= 0.0 {
+            return Err(format!("{} {} measured no throughput", b.kernel, b.pattern));
+        }
+    }
+    for b in &report.end_to_end {
+        if b.events_per_sec <= 0.0 {
+            return Err(format!("{} e2e {} measured no throughput", b.kernel, b.mode));
+        }
+    }
+    if report.allocs_per_request >= ALLOCS_PER_REQUEST_CEILING {
+        return Err(format!(
+            "allocs/request regressed: {:.2} >= {ALLOCS_PER_REQUEST_CEILING:.1}",
+            report.allocs_per_request
+        ));
+    }
+    let committed = baseline.end_to_end_speedup.unwrap_or(0.0);
+    if committed > 0.0 {
+        let ratio = report.end_to_end_speedup / committed;
+        if ratio < SPEEDUP_RATIO_FLOOR {
+            return Err(format!(
+                "end-to-end speedup regressed: {:.2}x is {ratio:.2} of the committed \
+                 {committed:.2}x (need >= {SPEEDUP_RATIO_FLOOR})",
+                report.end_to_end_speedup
+            ));
+        }
+    }
+    Ok(format!(
+        "bench check ok: {:.2} allocs/request, end-to-end {:.2}x vs committed {committed:.2}x",
+        report.allocs_per_request, report.end_to_end_speedup
+    ))
 }
 
 /// Human-readable summary of a report, one line per measurement.
@@ -593,5 +656,53 @@ mod tests {
         none.trajectory.clear();
         append_trajectory(&mut none, None);
         assert_eq!(none.trajectory.len(), 1);
+
+        // Re-running on the same commit replaces the row instead of
+        // appending a duplicate (when git is available to stamp one).
+        let serialized = serde_json::to_string(&none).unwrap();
+        let mut rerun = report.clone();
+        rerun.trajectory.clear();
+        append_trajectory(&mut rerun, Some(&serialized));
+        if rerun.trajectory[0].rev != "unknown" {
+            assert_eq!(rerun.trajectory.len(), 1, "{:?}", rerun.trajectory);
+        }
+    }
+
+    #[test]
+    fn check_against_applies_verify_thresholds() {
+        let report = BenchReport {
+            schema: "slsb-bench-kernel/v2".to_string(),
+            quick: true,
+            schedule_pop: Vec::new(),
+            end_to_end: Vec::new(),
+            kernel_speedup: 3.0,
+            end_to_end_speedup: 1.5,
+            allocs_per_request: 0.5,
+            alloc_breakdown: AllocBreakdown {
+                executor: 1,
+                kernel: 2,
+                platform: 3,
+                obs: 4,
+            },
+            trajectory: Vec::new(),
+        };
+        let baseline = r#"{"schema": "slsb-bench-kernel/v2", "end_to_end_speedup": 1.5}"#;
+        assert!(check_against(&report, baseline).is_ok());
+
+        // Allocation regression trips the gate.
+        let mut fat = report.clone();
+        fat.allocs_per_request = 2.5;
+        let err = check_against(&fat, baseline).unwrap_err();
+        assert!(err.contains("allocs/request"), "{err}");
+
+        // Speedup collapse trips the gate.
+        let mut slow = report.clone();
+        slow.end_to_end_speedup = 1.0;
+        let err = check_against(&slow, baseline).unwrap_err();
+        assert!(err.contains("speedup regressed"), "{err}");
+
+        // A baseline without the field (v1) only checks absolutes.
+        assert!(check_against(&slow, r#"{"schema": "v1"}"#).is_ok());
+        assert!(check_against(&report, "not json").is_err());
     }
 }

@@ -3,10 +3,11 @@
 //! plus the time series and cold-start breakdowns its figures plot.
 
 use crate::executor::{RequestRecord, RunResult};
+use crate::slo::{SloReport, SloSample};
 use serde::{Deserialize, Serialize};
 use slsb_obs::MetricsRegistry;
 use slsb_platform::{CostBreakdown, FailureReason, Outcome};
-use slsb_sim::{SampleSet, SimDuration, TimeSeries};
+use slsb_sim::{ProfGuard, SampleSet, SimDuration, TimeSeries};
 
 /// Aggregate latency statistics over successful requests (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -131,6 +132,7 @@ pub fn analyze(run: &RunResult) -> Analysis {
 /// guarantees resolution, and analyzing a half-resolved log would silently
 /// understate failures.
 pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
+    let _p = ProfGuard::enter("analyzer");
     let mut latencies = SampleSet::new();
     let mut lat_series = TimeSeries::new(bucket);
     let mut ok_series = TimeSeries::new(bucket);
@@ -269,6 +271,7 @@ pub fn analyze_with_bucket(run: &RunResult, bucket: SimDuration) -> Analysis {
 /// [`MetricsRegistry::merge`]), which is how the parallel harness aggregates
 /// per-worker observations without retaining every sample.
 pub fn run_metrics(run: &RunResult) -> MetricsRegistry {
+    let _p = ProfGuard::enter("analyzer/metrics");
     let mut m = MetricsRegistry::new();
     m.inc("requests_total", run.records.len() as u64);
     for r in &run.records {
@@ -305,6 +308,34 @@ pub fn run_metrics(run: &RunResult) -> MetricsRegistry {
     m.inc("retries_total", run.retries);
     m.gauge_max("peak_instances", run.platform.instances.peak());
     m
+}
+
+/// Per-request SLO samples for [`crate::slo::SloSpec::evaluate`]: one
+/// entry per record, carrying tenant, outcome, and end-to-end latency
+/// (zero for failures — only successes feed latency objectives).
+pub fn slo_samples(run: &RunResult) -> Vec<SloSample> {
+    run.records
+        .iter()
+        .map(|r| SloSample {
+            client: r.client,
+            ok: matches!(r.outcome, Outcome::Success),
+            latency_s: r.latency.map_or(0.0, |l| l.as_secs_f64()),
+        })
+        .collect()
+}
+
+/// Folds a scored SLO into a metrics registry: objective counts plus the
+/// per-objective error budget as a histogram, so `slsb diff` and the
+/// `--metrics-out` snapshot carry attainment without a full report.
+pub fn slo_metrics(m: &mut MetricsRegistry, report: &SloReport) {
+    m.inc("slo_objectives_total", report.objectives.len() as u64);
+    m.inc(
+        "slo_objectives_attained",
+        report.objectives.iter().filter(|o| o.attained).count() as u64,
+    );
+    for o in &report.objectives {
+        m.observe("slo_budget_consumed", o.budget_consumed);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -480,6 +511,24 @@ mod tests {
         assert_eq!(series_total, a.total, "series must cover every request");
         let last = a.series.last().expect("non-empty series");
         assert!(last.mean_latency.is_none() || last.success_ratio.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn slo_samples_and_metrics_cover_every_record() {
+        let run = run_small(PlatformKind::AwsServerless, 20.0);
+        let samples = slo_samples(&run);
+        assert_eq!(samples.len(), run.records.len());
+        assert!(samples.iter().any(|s| s.ok && s.latency_s > 0.0));
+
+        let spec = crate::slo::SloSpec::parse("p99=600.0,sr=0.01").unwrap();
+        let report = spec.evaluate(&samples, Some(run.platform.cost.total().as_dollars()));
+        assert!(report.attained, "{report:?}");
+
+        let mut m = run_metrics(&run);
+        slo_metrics(&mut m, &report);
+        assert_eq!(m.counter("slo_objectives_total"), 2);
+        assert_eq!(m.counter("slo_objectives_attained"), 2);
+        assert_eq!(m.histogram("slo_budget_consumed").unwrap().count(), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use slsb_platform::{
     PlatformEvent, PlatformReport, PlatformScheduler, RequestId, ServingRequest, ServingResponse,
 };
 use slsb_sim::alloc::{Region, RegionGuard};
-use slsb_sim::{Engine, EventQueue, Kernel, Seed, SimDuration, SimRng, SimTime, System};
+use slsb_sim::{Engine, EventQueue, Kernel, ProfGuard, Seed, SimDuration, SimRng, SimTime, System};
 use slsb_workload::{InputKind, RequestPool, WorkloadTrace};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -489,6 +489,7 @@ impl ExecSystem<'_> {
     ) -> R {
         let r = {
             let _region = RegionGuard::enter(Region::Platform);
+            let _p = ProfGuard::enter(self.platform.prof_label());
             let rec = self.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
             let mut sched = PlatformScheduler::with_recorder(queue.now(), self.buffer, rec);
             f(&mut self.platform, &mut sched)
@@ -506,6 +507,7 @@ impl ExecSystem<'_> {
     fn drain(&mut self, queue: &mut EventQueue<ExecEvent>) {
         {
             let _region = RegionGuard::enter(Region::Platform);
+            let _p = ProfGuard::enter(self.platform.prof_label());
             self.platform.drain_responses_into(self.resp_scratch);
         }
         if self.resp_scratch.is_empty() {
@@ -907,6 +909,7 @@ impl Executor {
                 // RunClosed. Events are time-ordered within a cell, not
                 // globally; `slsb trace` views sort where it matters.
                 let _region = RegionGuard::enter(Region::Obs);
+                let _p = ProfGuard::enter("executor/merge");
                 for (_, cell_rec) in &mut outs {
                     let Some(m) = cell_rec.take() else { continue };
                     for ev in m.into_events() {
@@ -956,6 +959,10 @@ impl Executor {
         rec: Option<&'a mut dyn Recorder>,
         arena: &'a mut RunArena,
     ) -> CellOutput {
+        // Root-attached on purpose: a cell runs inline under `--jobs 1`
+        // but on a pool worker otherwise, and the profile tree must not
+        // depend on which thread hosts it.
+        let _cell = ProfGuard::enter_root("executor/cell");
         let tracing = rec.as_deref().is_some_and(|r| r.enabled());
         let retrying = self.cfg.retry.enabled();
         let mut platform = platform;
@@ -972,6 +979,7 @@ impl Executor {
             CellRequests::Client { .. } => 1,
         };
 
+        let arrivals_guard = ProfGuard::enter("executor/arrivals");
         arena.begin();
         if arena.per_client.len() < clients {
             arena.per_client.resize_with(clients, Vec::new);
@@ -1033,21 +1041,24 @@ impl Executor {
                 queued: SimDuration::ZERO,
             }
         };
-        match &requests {
-            CellRequests::RoundRobin { arrivals } => {
-                for (i, &arrival) in arrivals.iter().enumerate() {
-                    let slot = i % clients;
-                    let payload = pool.pick(&mut client_rngs[slot]);
-                    records.push(blank(i, slot as u32, arrival, payload.size_bytes));
-                    per_client[slot].push((i, arrival));
+        {
+            let _rng = ProfGuard::enter("rng");
+            match &requests {
+                CellRequests::RoundRobin { arrivals } => {
+                    for (i, &arrival) in arrivals.iter().enumerate() {
+                        let slot = i % clients;
+                        let payload = pool.pick(&mut client_rngs[slot]);
+                        records.push(blank(i, slot as u32, arrival, payload.size_bytes));
+                        per_client[slot].push((i, arrival));
+                    }
                 }
-            }
-            CellRequests::Client { client, arrivals } => {
-                for (local, &(global, arrival)) in arrivals.iter().enumerate() {
-                    let payload = pool.pick(&mut client_rngs[0]);
-                    records.push(blank(global, *client, arrival, payload.size_bytes));
-                    // Plan members index the *local* record table.
-                    per_client[0].push((local, arrival));
+                CellRequests::Client { client, arrivals } => {
+                    for (local, &(global, arrival)) in arrivals.iter().enumerate() {
+                        let payload = pool.pick(&mut client_rngs[0]);
+                        records.push(blank(global, *client, arrival, payload.size_bytes));
+                        // Plan members index the *local* record table.
+                        per_client[0].push((local, arrival));
+                    }
                 }
             }
         }
@@ -1110,6 +1121,8 @@ impl Executor {
         // Deliveries (and in retry mode, their timeouts) are scheduled up
         // front, so the queue's high-water mark is about one entry per
         // invocation plus in-flight platform events.
+        drop(arrivals_guard);
+        let engine_guard = ProfGuard::enter("executor/engine");
         let queue_cap = if retrying { 2 * n + 64 } else { n + 64 };
         let queue = EventQueue::with_kernel_and_capacity(self.kernel, queue_cap);
         responses.reserve(n_inv);
@@ -1144,6 +1157,7 @@ impl Executor {
             let sys = &mut engine.system;
             {
                 let _region = RegionGuard::enter(Region::Platform);
+                let _p = ProfGuard::enter(sys.platform.prof_label());
                 let startup_rec = sys.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
                 let mut sched =
                     PlatformScheduler::with_recorder(SimTime::ZERO, sys.buffer, startup_rec);
@@ -1190,6 +1204,8 @@ impl Executor {
         let teardown = SimTime::ZERO + duration + SimDuration::from_secs(30);
         engine.system.platform.finalize(teardown.min(horizon));
         engine.system.drain_final();
+        drop(engine_guard);
+        let _resolve = ProfGuard::enter("executor/resolve");
 
         // Resolve records from responses.
         let engine_events = engine.events_processed();
@@ -1280,6 +1296,7 @@ impl Executor {
         if let Some(r) = recorder {
             if r.enabled() {
                 let _region = RegionGuard::enter(Region::Obs);
+                let _p = ProfGuard::enter("executor/spans");
                 for (m, rec) in records.iter().enumerate() {
                     let (at, net_in, exec, net_out) = match spans[m] {
                         Some(s) => s,

@@ -52,9 +52,11 @@ pub mod replication;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod slo;
 
 pub use analyzer::{
-    analyze, analyze_with_bucket, run_metrics, Analysis, ColdStartStats, LatencyStats,
+    analyze, analyze_with_bucket, run_metrics, slo_metrics, slo_samples, Analysis, ColdStartStats,
+    LatencyStats,
 };
 pub use batching::{plan_invocations, BatchPolicy, Invocation};
 pub use executor::{Executor, ExecutorConfig, RequestRecord, RetryPolicy, RunResult};
@@ -65,3 +67,4 @@ pub use replication::{replicate, replicate_jobs, MetricSummary, Replication};
 pub use report::{ascii_chart, fmt_money, fmt_opt_secs, fmt_pct, fmt_secs, Table};
 pub use runner::{parallel_map, run_jobs, Jobs, RunJob, TraceCache};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
+pub use slo::{SloObjective, SloReport, SloSample, SloSpec, SloTargets};

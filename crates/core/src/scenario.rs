@@ -8,8 +8,9 @@ use crate::analyzer::{analyze, Analysis};
 use crate::executor::{Executor, ExecutorConfig, RunResult};
 use crate::plan::{Deployment, PlanError};
 use serde::{Deserialize, Serialize};
+use crate::slo::SloSpec;
 use slsb_platform::{FaultPlan, FaultPlanError};
-use slsb_sim::{Seed, SimDuration, SimTime};
+use slsb_sim::{ProfGuard, Seed, SimDuration, SimTime};
 use slsb_workload::{
     DiurnalSpec, FlashCrowdSpec, MmppPreset, MmppSpec, PoissonProcess, WorkloadTrace,
 };
@@ -75,6 +76,7 @@ pub enum WorkloadSpec {
 impl WorkloadSpec {
     /// Materializes the trace for a seed.
     pub fn generate(&self, seed: Seed) -> WorkloadTrace {
+        let _p = ProfGuard::enter("workload/generate");
         match *self {
             WorkloadSpec::Preset { which, scale } => {
                 let spec = which.spec();
@@ -152,6 +154,10 @@ pub struct Scenario {
     /// byte-identical no-op).
     #[serde(default = "FaultPlan::none")]
     pub faults: FaultPlan,
+    /// Service-level objectives to score the run against (an absent block
+    /// evaluates nothing; purely observational either way).
+    #[serde(default = "SloSpec::default")]
+    pub slo: SloSpec,
 }
 
 /// Why a scenario failed to load or run.
@@ -163,6 +169,8 @@ pub enum ScenarioError {
     Plan(PlanError),
     /// The fault plan has an out-of-range knob.
     Faults(FaultPlanError),
+    /// The SLO block has a nonsensical target.
+    Slo(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -171,6 +179,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Parse(e) => write!(f, "scenario parse error: {e}"),
             ScenarioError::Plan(e) => write!(f, "invalid deployment: {e}"),
             ScenarioError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+            ScenarioError::Slo(e) => write!(f, "invalid slo: {e}"),
         }
     }
 }
@@ -204,6 +213,7 @@ impl Scenario {
     pub fn run(&self) -> Result<(RunResult, Analysis), ScenarioError> {
         let seed = Seed(self.seed);
         self.faults.validate().map_err(ScenarioError::Faults)?;
+        self.slo.validate().map_err(ScenarioError::Slo)?;
         let trace = self.workload.generate(seed.substream("scenario-workload"));
         let run = Executor::new(self.executor)
             .with_faults(self.faults.clone())
@@ -223,6 +233,7 @@ impl Scenario {
     ) -> Result<(RunResult, Analysis), ScenarioError> {
         let seed = Seed(self.seed);
         self.faults.validate().map_err(ScenarioError::Faults)?;
+        self.slo.validate().map_err(ScenarioError::Slo)?;
         let trace = self.workload.generate(seed.substream("scenario-workload"));
         let run = Executor::new(self.executor)
             .with_faults(self.faults.clone())
@@ -256,6 +267,7 @@ mod tests {
             ),
             executor: ExecutorConfig::default(),
             faults: FaultPlan::none(),
+            slo: SloSpec::default(),
         }
     }
 

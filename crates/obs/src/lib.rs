@@ -30,10 +30,12 @@
 pub mod event;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod trace_view;
 
 pub use event::{Component, EventKind, FaultKind, SpanOutcome, SpawnCause, TraceEvent};
 pub use log::{log_enabled, log_level, set_log_level, LogLevel};
 pub use metrics::{LogLinearHistogram, MetricsRegistry};
+pub use profile::{FlatScope, Profile, PROFILE_SCHEMA};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};

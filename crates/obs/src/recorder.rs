@@ -8,6 +8,7 @@
 //! disabled path a single branch.
 
 use crate::event::TraceEvent;
+use slsb_sim::ProfGuard;
 use std::io;
 use std::io::Write as _;
 
@@ -61,6 +62,7 @@ impl MemoryRecorder {
 
 impl Recorder for MemoryRecorder {
     fn record(&mut self, ev: &TraceEvent) {
+        let _p = ProfGuard::enter("recorder");
         self.events.push(*ev);
     }
 }
@@ -114,6 +116,7 @@ impl<W: io::Write> JsonlRecorder<W> {
 
 impl<W: io::Write> Recorder for JsonlRecorder<W> {
     fn record(&mut self, ev: &TraceEvent) {
+        let _p = ProfGuard::enter("recorder");
         if self.error.is_some() {
             return;
         }

@@ -25,6 +25,25 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     Ok(events)
 }
 
+/// [`parse_jsonl`] with the error reporting a CLI wants: an empty file is
+/// an error (not an empty trace), and a parse failure on an unterminated
+/// final line is diagnosed as truncation — the shape a killed or
+/// still-running writer leaves behind — rather than generic bad JSON.
+pub fn parse_jsonl_strict(text: &str) -> Result<Vec<TraceEvent>, String> {
+    if text.trim().is_empty() {
+        return Err("trace file is empty (no events recorded)".to_string());
+    }
+    parse_jsonl(text).map_err(|e| {
+        let lines = text.lines().count();
+        let failed_last = e.starts_with(&format!("line {lines}:"));
+        if failed_last && !text.ends_with('\n') {
+            format!("trace file is truncated (last line is incomplete): {e}")
+        } else {
+            e
+        }
+    })
+}
+
 /// The `RunClosed` bookkeeping event, if the trace carries one.
 pub fn run_closed(events: &[TraceEvent]) -> Option<(u64, u64)> {
     events.iter().rev().find_map(|e| match e.kind {
@@ -498,6 +517,40 @@ mod tests {
         assert_eq!(parsed, events);
         assert!(parse_jsonl("{not json}").is_err());
         assert!(parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn strict_parse_rejects_empty_and_diagnoses_truncation() {
+        // 0-byte file: a clear error, not an empty trace.
+        let err = parse_jsonl_strict("").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let err = parse_jsonl_strict("\n\n").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // A writer killed mid-line leaves a complete prefix plus an
+        // unterminated fragment: diagnosed as truncation.
+        let events = lifecycle_events();
+        let mut text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let fragment = serde_json::to_string(&events[0]).unwrap();
+        text.push_str(&fragment[..fragment.len() / 2]);
+        let err = parse_jsonl_strict(&text).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        // A bad line in the middle is NOT truncation — plain parse error.
+        let mid = format!("{}\n{{not json}}\n{}\n", fragment, fragment);
+        let err = parse_jsonl_strict(&mid).unwrap_err();
+        assert!(!err.contains("truncated"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+
+        // A complete trace still parses.
+        let full: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        assert_eq!(parse_jsonl_strict(&full).unwrap(), events);
     }
 
     #[test]

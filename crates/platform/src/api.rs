@@ -175,6 +175,18 @@ impl Platform {
         Platform::Serverless(Box::new(ServerlessPlatform::new(cfg, seed)))
     }
 
+    /// The profiler scope label for this platform's submit/handle/drain
+    /// work (`"platform/<name>"`, a `'static` string as the profiler
+    /// requires).
+    pub fn prof_label(&self) -> &'static str {
+        match self {
+            Platform::Serverless(_) => "platform/serverless",
+            Platform::ManagedMl(_) => "platform/managedml",
+            Platform::Vm(_) => "platform/vm",
+            Platform::Hybrid(_) => "platform/hybrid",
+        }
+    }
+
     /// Builds a managed-ML endpoint.
     pub fn managedml(cfg: ManagedMlConfig, seed: Seed) -> Platform {
         Platform::ManagedMl(Box::new(ManagedMlPlatform::new(cfg, seed)))

@@ -64,6 +64,9 @@ pub fn note_alloc() {
         let r = CURRENT.with(|c| c.get());
         REGION_COUNTS[r as usize & (REGIONS - 1)].fetch_add(1, Ordering::Relaxed);
     }
+    if crate::prof::enabled() {
+        crate::prof::note_thread_alloc();
+    }
 }
 
 /// Total allocations observed since process start (0 unless a counting

@@ -14,6 +14,7 @@
 //! kernels never changes a simulation's results, only its speed.
 
 use crate::alloc::{Region, RegionGuard};
+use crate::prof::ProfGuard;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
@@ -160,6 +161,7 @@ impl<E> EventQueue<E> {
             now = self.now
         );
         let _r = RegionGuard::enter(Region::Kernel);
+        let _p = ProfGuard::enter("kernel/schedule");
         let s = Scheduled {
             at,
             seq: self.seq,
@@ -189,6 +191,7 @@ impl<E> EventQueue<E> {
         I: IntoIterator<Item = (SimTime, E)>,
     {
         let _r = RegionGuard::enter(Region::Kernel);
+        let _p = ProfGuard::enter("kernel/schedule");
         let now = self.now;
         match &mut self.store {
             Store::Wheel(w) => {
@@ -243,6 +246,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let _r = RegionGuard::enter(Region::Kernel);
+        let _p = ProfGuard::enter("kernel/pop");
         let s = match &mut self.store {
             Store::Wheel(w) => w.pop()?,
             Store::Heap(h) => h.pop()?,
@@ -259,6 +263,7 @@ impl<E> EventQueue<E> {
     /// [`Engine::run_until`].
     pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         let _r = RegionGuard::enter(Region::Kernel);
+        let _p = ProfGuard::enter("kernel/pop");
         let s = match &mut self.store {
             Store::Wheel(w) => w.pop_at_or_before(horizon)?,
             Store::Heap(h) => {

@@ -37,12 +37,14 @@
 
 pub mod alloc;
 pub mod event;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod time;
 mod wheel;
 
 pub use event::{Engine, EventQueue, Kernel, Observer, System};
+pub use prof::{ProfGuard, ProfileNode};
 pub use rng::{Seed, SimRng};
 pub use stats::{Accumulator, GaugeSeries, Histogram, SampleSet, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -82,6 +82,19 @@ fn explorer_renderings_match_goldens() {
         &trace_view::cold_start_breakdown(&events),
     );
     check_golden("fault_attribution", &trace_view::fault_attribution(&events));
+
+    // The same pinned run with the self-profiler enabled must emit the
+    // exact same events — profiling never touches the trace path, so the
+    // goldens pin profiled runs too.
+    slsbench::sim::prof::reset();
+    slsbench::sim::prof::enable(true);
+    let profiled = pinned_events();
+    slsbench::sim::prof::enable(false);
+    slsbench::sim::prof::reset();
+    assert_eq!(
+        profiled, events,
+        "enabling the profiler changed the pinned golden trace"
+    );
 }
 
 #[test]

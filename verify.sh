@@ -119,4 +119,52 @@ if (( ! bench_ok )); then
     exit 1
 fi
 
+# Profile smoke: a profiled run must attribute nearly all of its wall time
+# to named regions, and the profile document must parse. Attribution is
+# the tentpole guarantee — an unattributed remainder above 5% means a
+# subsystem lost its ProfGuard.
+profilefile="$(mktemp /tmp/slsb-profile.XXXXXX.json)"
+metricsfile="$(mktemp /tmp/slsb-metrics.XXXXXX.json)"
+trap 'rm -f "$tracefile" "$benchfile" "$profilefile" "$metricsfile" "$metricsfile.doctored"' EXIT
+./target/release/slsb run scenarios/flash_crowd_serverless.json \
+    --profile "$profilefile" --metrics-out "$metricsfile" \
+    --slo "p99=0.5,sr=0.99" >/dev/null
+python3 - "$profilefile" <<'EOF'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["schema"].startswith("slsb-profile/"), p["schema"]
+assert p["wall_secs"] > 0, p["wall_secs"]
+assert p["roots"], "profile has no root regions"
+# Unsharded run: region time is single-threaded, so the attributed sum
+# must fit inside the wall window (2% slack for clock granularity).
+assert p["attributed_secs"] <= p["wall_secs"] * 1.02, (
+    f"region sums exceed wall: {p['attributed_secs']:.3f}s > {p['wall_secs']:.3f}s")
+frac = p["attributed_frac"]
+assert frac >= 0.95, f"only {frac:.1%} of wall time attributed (need >= 95%)"
+print(f"verify.sh: profile gate ok ({frac:.1%} of "
+      f"{p['wall_secs']:.3f}s wall attributed, {len(p['roots'])} roots)")
+EOF
+./target/release/slsb profile "$profilefile" --top 5 >/dev/null
+
+# Diff gates: self-diff must be clean (exit 0), and a doctored metrics
+# snapshot must trip the thresholds with the regression exit code (2),
+# which is what CI consumers key on.
+./target/release/slsb diff "$metricsfile" "$metricsfile" >/dev/null
+echo "verify.sh: self-diff gate ok (exit 0)"
+python3 - "$metricsfile" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+m["counters"]["requests_ok"] = int(m["counters"]["requests_ok"] * 0.9)
+json.dump(m, open(sys.argv[1] + ".doctored", "w"))
+EOF
+set +e
+./target/release/slsb diff "$metricsfile" "$metricsfile.doctored" >/dev/null
+diff_rc=$?
+set -e
+if (( diff_rc != 2 )); then
+    echo "verify.sh: diff gate: doctored metrics should exit 2, got $diff_rc" >&2
+    exit 1
+fi
+echo "verify.sh: diff regression gate ok (doctored snapshot exits 2)"
+
 echo "verify.sh: all gates passed"
