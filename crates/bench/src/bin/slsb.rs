@@ -19,15 +19,16 @@
 use slsb_bench::cli::extract_log_level;
 use slsb_bench::perf;
 use slsb_core::{
-    analyze, ascii_chart, explore_jobs, fmt_money, fmt_opt_secs, fmt_pct, replicate_jobs,
-    run_metrics, slo_metrics, slo_samples, Deployment, Executor, ExplorerGrid, Jobs, RetryPolicy,
-    Scenario, SloSample, SloSpec, Table, WorkloadSpec,
+    analyze, ascii_chart, explore_jobs, fleet_metrics, fmt_money, fmt_opt_secs, fmt_pct,
+    replicate_jobs, run_metrics, slo_metrics, slo_samples, Deployment, Executor, ExplorerGrid,
+    FleetRunner, FleetScenario, Jobs, RetryPolicy, Scenario, SloSample, SloSpec, Table,
+    WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_obs::{set_log_level, trace_view, JsonlRecorder, Profile};
 use slsb_platform::{FaultPlan, PlatformKind};
 use slsb_sim::Seed;
-use slsb_workload::MmppPreset;
+use slsb_workload::{MmppPreset, TraceSummary};
 use std::process::ExitCode;
 
 /// Counting allocator so `slsb bench` can report allocation deltas; the
@@ -39,8 +40,9 @@ const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N] [--shards N]
-  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--slo SPEC] [--seed N] [--shards N] [--profile FILE] [--metrics-out FILE]
-  slsb trace     <trace.jsonl> [--slo SPEC]
+  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--slo SPEC] [--seed N] [--shards N] [--jobs N] [--profile FILE] [--metrics-out FILE] [--fleet] [--scale F]
+  slsb fleet     ingest <raw.(json|csv)> [--out FILE]
+  slsb trace     <trace.jsonl> [--slo SPEC] [--apps N]
   slsb profile   <profile.json> [--top N] [--collapsed]
   slsb diff      <baseline> <candidate>
   slsb bench     [--quick] [--out FILE] [--check]
@@ -66,10 +68,20 @@ p50=S p99=S sr=F cost1k=D, optionally per-tenant with key@client, e.g.
 self-profiler and writes the region tree as JSON (trace bytes are
 unaffected); --metrics-out FILE writes the run's metrics registry as a
 stable-ordered JSON snapshot.
+run on a scenario with a top-level \"fleet\" block (or with --fleet)
+replays a multi-tenant fleet: every app gets its own platform and RNG
+substreams, arrivals stream through a lazy k-way merge (memory stays
+O(apps), not O(requests)), and --jobs/--shards both map to one worker
+budget with byte-identical results for every value; --scale F scales a
+synthesized fleet's duration.
+fleet ingest converts a raw per-app trace summary (schema'd JSON or
+'app,profile,bucket,invocations' CSV) into the canonical
+slsb-fleet-trace/v1 document that fleet scenarios replay.
 trace renders a recorded file: per-request waterfall, phase attribution,
 cold-start breakdown, fault attribution, and per-instance timelines;
 trace --slo SPEC scores the recorded spans against objectives (cost
-objectives are skipped — traces carry no billing data).
+objectives are skipped — traces carry no billing data); trace --apps N
+adds a per-tenant breakdown of the N busiest apps.
 profile renders a profile written by run --profile: the region tree by
 default, --top N the hottest regions by exclusive time, --collapsed
 flamegraph-collapsed lines (path;to;region <exclusive-us>).
@@ -348,8 +360,11 @@ struct RunOptions {
     slo: Option<String>,
     seed: Option<u64>,
     shards: Option<usize>,
+    jobs: Option<usize>,
     profile_out: Option<String>,
     metrics_out: Option<String>,
+    fleet: bool,
+    scale: Option<f64>,
 }
 
 /// Removes `flag VALUE` from `args` wherever it appears, returning the
@@ -386,6 +401,19 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
                 _ => Err(format!("bad shards {v:?} (must be >= 1)")),
             })
             .transpose()?,
+        jobs: take_flag(&mut args, "--jobs")?
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("bad jobs {v:?} (must be >= 1)")),
+            })
+            .transpose()?,
+        fleet: take_switch(&mut args, "--fleet"),
+        scale: take_flag(&mut args, "--scale")?
+            .map(|v| match v.parse::<f64>() {
+                Ok(f) if f > 0.0 && f.is_finite() => Ok(f),
+                _ => Err(format!("bad scale {v:?} (must be > 0)")),
+            })
+            .transpose()?,
     };
     match args.as_slice() {
         [path] => Ok((path.clone(), o)),
@@ -396,6 +424,15 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
 
 fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // A scenario with a top-level "fleet" block is a multi-tenant fleet
+    // run; `--fleet` forces the interpretation for hand-rolled files.
+    let is_fleet = opts.fleet || has_fleet_key(&json);
+    if is_fleet {
+        return cmd_run_fleet(path, &json, opts);
+    }
+    if opts.scale.is_some() {
+        return Err("--scale applies to fleet scenarios only".into());
+    }
     let mut scenario = Scenario::from_json(&json).map_err(|e| e.to_string())?;
     if let Some(faults_path) = &opts.faults {
         let text = std::fs::read_to_string(faults_path)
@@ -495,6 +532,179 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// Whether the document carries a `"fleet"` *key* (the vendored
+/// serde_json has no dynamic `Value`, so this is a quote-and-colon scan;
+/// a string *value* "fleet" is not followed by ':' and does not match).
+/// Single-deployment scenarios have no nested objects with a `fleet`
+/// field, so any match means the fleet schema.
+fn has_fleet_key(json: &str) -> bool {
+    let mut rest = json;
+    while let Some(i) = rest.find("\"fleet\"") {
+        rest = &rest[i + "\"fleet\"".len()..];
+        if rest.trim_start().starts_with(':') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Replays a multi-tenant fleet scenario: per-app platforms fed by the
+/// streaming arrival merge. `--jobs`/`--shards` both set the worker-thread
+/// budget; results are byte-identical for every value of either.
+fn cmd_run_fleet(path: &str, json: &str, opts: &RunOptions) -> Result<(), String> {
+    if opts.faults.is_some() || opts.retry.is_some() {
+        return Err("fleet runs do not support --faults/--retry".into());
+    }
+    let mut scenario = FleetScenario::from_json(json).map_err(|e| e.to_string())?;
+    if let Some(seed) = opts.seed {
+        scenario.seed = seed;
+    }
+    if let Some(f) = opts.scale {
+        scenario.scale_duration(f).map_err(|e| e.to_string())?;
+    }
+    // Trace documents resolve relative to the scenario file, so a scenario
+    // directory stays relocatable.
+    let trace_json = match scenario.trace_path() {
+        Some(p) => {
+            let base = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+                .unwrap_or_else(|| std::path::Path::new("."));
+            let full = base.join(p);
+            Some(
+                std::fs::read_to_string(&full)
+                    .map_err(|e| format!("cannot read trace {}: {e}", full.display()))?,
+            )
+        }
+        None => None,
+    };
+    let plan = scenario
+        .resolve(trace_json.as_deref())
+        .map_err(|e| e.to_string())?;
+    let workers = opts.jobs.unwrap_or(1).max(opts.shards.unwrap_or(1));
+    let runner = FleetRunner::default().with_workers(workers);
+    let seed = Seed(scenario.seed);
+    let profiling = opts.profile_out.is_some();
+    if profiling {
+        slsb_sim::prof::reset();
+        slsb_sim::prof::enable(true);
+    }
+    // Per-region allocation accounting: the executor-region figure below is
+    // the engine's own arrival-side footprint (per-app setup + streaming
+    // merge), which must stay O(apps) — flat in the request count.
+    slsb_sim::alloc::enable_breakdown(true);
+    slsb_sim::alloc::reset_region_counts();
+    let wall_start = std::time::Instant::now();
+    let mut trace_events = None;
+    let run = match opts.trace_out.as_deref() {
+        None => runner.run(&plan, seed).map_err(|e| e.to_string())?,
+        Some(out_path) => {
+            let file = std::fs::File::create(out_path)
+                .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+            let mut rec = JsonlRecorder::new(file);
+            let result = runner
+                .run_recorded(&plan, seed, &mut rec)
+                .map_err(|e| e.to_string())?;
+            let written = rec
+                .finish()
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            trace_events = Some(written);
+            result
+        }
+    };
+    let wall = wall_start.elapsed().as_secs_f64();
+    let region_allocs = slsb_sim::alloc::region_counts();
+    slsb_sim::alloc::enable_breakdown(false);
+    if profiling {
+        slsb_sim::prof::enable(false);
+    }
+    println!("# {} (fleet)\n", scenario.name);
+    println!("apps          : {}", run.apps.len());
+    println!("requests      : {}", run.requests);
+    println!("success ratio : {}", fmt_pct(run.success_ratio()));
+    println!("mean latency  : {}", fmt_opt_secs(run.latency.mean()));
+    println!("p99 latency   : {}", fmt_opt_secs(run.latency.quantile(99.0)));
+    println!("cost          : {}", fmt_money(run.platform.cost.total()));
+    println!("cold starts   : {}", run.platform.cold_started);
+    println!("engine events : {}", run.engine_events);
+    println!(
+        "arrival allocs: {}",
+        region_allocs[slsb_sim::alloc::Region::Executor as usize]
+    );
+    if let Some(n) = trace_events {
+        println!("trace events  : {n}");
+    }
+    // The busiest tenants, Zipf's head.
+    let mut by_requests: Vec<&slsb_core::AppResult> = run.apps.iter().collect();
+    by_requests.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.app.cmp(&b.app)));
+    println!("\ntop apps by requests:");
+    println!("  app        profile     requests       ok      p99     cost");
+    for a in by_requests.iter().take(5) {
+        println!(
+            "  {:<10} {:<10} {:>9} {:>8} {:>8} {:>8}",
+            a.name,
+            a.profile,
+            a.requests,
+            a.ok,
+            fmt_opt_secs(a.p99_s),
+            format!("${:.4}", a.cost_dollars),
+        );
+    }
+    if let Some(out) = &opts.metrics_out {
+        let m = fleet_metrics(&run);
+        let json = serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("metrics written to {out}");
+    }
+    if let Some(out) = &opts.profile_out {
+        let profile = Profile::new(slsb_sim::prof::take(), wall);
+        std::fs::write(out, profile.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "profile written to {out} ({:.1}% of {:.3}s wall attributed)",
+            profile.attributed_frac * 100.0,
+            profile.wall_secs
+        );
+    }
+    Ok(())
+}
+
+/// `slsb fleet ingest RAW [--out FILE]` — converts a raw trace summary
+/// (JSON or CSV) into the canonical `slsb-fleet-trace/v1` document.
+fn cmd_fleet(rest: &[String]) -> Result<(), String> {
+    let mut args: Vec<String> = rest.to_vec();
+    let out = take_flag(&mut args, "--out")?;
+    match args.as_slice() {
+        [sub, raw] if sub == "ingest" => {
+            let text =
+                std::fs::read_to_string(raw).map_err(|e| format!("cannot read {raw}: {e}"))?;
+            // JSON documents self-identify via the schema field; anything
+            // else goes through the CSV ingester.
+            let summary = if text.trim_start().starts_with('{') {
+                TraceSummary::from_json(&text).map_err(|e| format!("{raw}: {e}"))?
+            } else {
+                TraceSummary::from_csv(&text).map_err(|e| format!("{raw}: {e}"))?
+            };
+            let out = out.unwrap_or_else(|| {
+                let stem = raw.rsplit_once('.').map(|(s, _)| s).unwrap_or(raw);
+                format!("{stem}.fleet.json")
+            });
+            std::fs::write(&out, summary.to_json() + "\n")
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("# fleet ingest: {raw}\n");
+            println!("name          : {}", summary.name);
+            println!("apps          : {}", summary.apps.len());
+            println!(
+                "buckets       : {} x {:.0}s",
+                summary.buckets, summary.bucket_s
+            );
+            println!("invocations   : {}", summary.total_invocations());
+            println!("written to    : {out}");
+            Ok(())
+        }
+        _ => Err(format!("usage: slsb fleet ingest <raw.(json|csv)> [--out FILE]\n{USAGE}")),
+    }
+}
+
 /// Removes a valueless `flag` from `args`, returning whether it was
 /// present.
 fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
@@ -555,17 +765,23 @@ fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
 }
 
 /// Splits `slsb trace` arguments into the trace path and its flags.
-fn parse_trace_args(rest: &[String]) -> Result<(String, Option<String>), String> {
+fn parse_trace_args(rest: &[String]) -> Result<(String, Option<String>, Option<usize>), String> {
     let mut args: Vec<String> = rest.to_vec();
     let slo = take_flag(&mut args, "--slo")?;
+    let apps = take_flag(&mut args, "--apps")?
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad apps {v:?} (must be >= 1)")),
+        })
+        .transpose()?;
     match args.as_slice() {
-        [path] => Ok((path.clone(), slo)),
+        [path] => Ok((path.clone(), slo, apps)),
         [] => Err(format!("trace needs a trace file\n{USAGE}")),
         other => Err(format!("unexpected trace arguments {other:?}\n{USAGE}")),
     }
 }
 
-fn cmd_trace(path: &str, slo: Option<&str>) -> Result<(), String> {
+fn cmd_trace(path: &str, slo: Option<&str>, apps: Option<usize>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let events = trace_view::parse_jsonl_strict(&text).map_err(|e| format!("{path}: {e}"))?;
     println!("# trace: {path}\n");
@@ -583,6 +799,9 @@ fn cmd_trace(path: &str, slo: Option<&str>) -> Result<(), String> {
     println!("{}", trace_view::fault_attribution(&events));
     println!("{}", trace_view::waterfall(&events, 20));
     println!("{}", trace_view::instance_timeline(&events, 20));
+    if let Some(n) = apps {
+        println!("{}", trace_view::app_breakdown(&events, n));
+    }
     if let Some(spec) = slo {
         let spec = SloSpec::parse(spec)?;
         // A replayed trace carries latencies and outcomes but no billing
@@ -686,8 +905,9 @@ fn main() -> ExitCode {
             .and_then(|(path, opts)| cmd_run(&path, &opts))
             .map(ok),
         "trace" => parse_trace_args(rest)
-            .and_then(|(path, slo)| cmd_trace(&path, slo.as_deref()))
+            .and_then(|(path, slo, apps)| cmd_trace(&path, slo.as_deref(), apps))
             .map(ok),
+        "fleet" => cmd_fleet(rest).map(ok),
         "profile" => parse_profile_args(rest).and_then(|a| cmd_profile(&a)).map(ok),
         "diff" => match rest {
             [a, b] => cmd_diff(a, b),
@@ -868,9 +1088,13 @@ mod tests {
 
     #[test]
     fn trace_and_profile_args_parse() {
-        let (path, slo) = parse_trace_args(&strs(&["t.jsonl", "--slo", "p50=0.1"])).unwrap();
+        let (path, slo, apps) = parse_trace_args(&strs(&["t.jsonl", "--slo", "p50=0.1"])).unwrap();
         assert_eq!(path, "t.jsonl");
         assert_eq!(slo.as_deref(), Some("p50=0.1"));
+        assert_eq!(apps, None);
+        let (_, _, apps) = parse_trace_args(&strs(&["t.jsonl", "--apps", "3"])).unwrap();
+        assert_eq!(apps, Some(3));
+        assert!(parse_trace_args(&strs(&["t.jsonl", "--apps", "0"])).is_err());
         assert!(parse_trace_args(&strs(&["--slo", "p50=0.1"])).is_err());
         assert!(parse_trace_args(&strs(&["a", "b"])).is_err());
 

@@ -1,0 +1,1113 @@
+//! Fleet runs: a streaming multi-tenant engine over hundreds of apps.
+//!
+//! The paper benchmarks one model deployment against one trace. Production
+//! serverless fleets look nothing like that: thousands of mostly-idle apps
+//! whose popularity follows a heavy-tailed (Zipf-like) curve, each with its
+//! own deployment configuration — the regime characterized by the Azure
+//! Functions trace study. This module runs that regime without ever
+//! materializing the merged request log:
+//!
+//! - [`FleetScenario`] is the declarative JSON surface: a `fleet` block
+//!   (synthesized knobs or an ingested trace summary), a named profile map
+//!   of [`Deployment`]s, and a client timeout.
+//! - [`FleetRunner`] drives every app's platform instance from the lazy
+//!   k-way merge in [`slsb_workload::FleetArrivalStream`]. Arrival-side
+//!   memory is O(apps + in-flight), not O(requests): the engine holds at
+//!   most one pending merged arrival at a time and pulls the next one only
+//!   when the current one fires.
+//! - Apps are partitioned over a **fixed** number of cells
+//!   ([`FLEET_CELLS`]) by `app_index % cells`; `--jobs`/`--shards` only
+//!   changes how many worker threads execute those cells. Combined with
+//!   per-app RNG substreams keyed by global app index
+//!   (`substream_indexed("app", i)`, `substream_indexed("fleet-app", i)`,
+//!   `substream_indexed("app-payload", i)`), every result — per-app
+//!   counters, merged platform report, recorded trace — is byte-identical
+//!   for any worker budget.
+//!
+//! Unlike the single-app executor there is no client batching and no retry
+//! layer: each trace arrival is one invocation, delivered after its
+//! payload's network transfer, and resolved against the client timeout when
+//! its response (plus response-path network) comes back.
+
+use crate::plan::{Deployment, PlanError};
+use crate::runner::{parallel_map, Jobs};
+use serde::{Deserialize, Serialize};
+use slsb_obs::{
+    EventKind, LogLinearHistogram, MemoryRecorder, MetricsRegistry, Recorder, SpanOutcome,
+    TraceEvent,
+};
+use slsb_platform::{
+    FailureReason, NetworkProfile, Outcome, Platform, PlatformEvent, PlatformReport,
+    PlatformScheduler, RequestId, ServingRequest, ServingResponse,
+};
+use slsb_sim::alloc::{Region, RegionGuard};
+use slsb_sim::{
+    Engine, EventQueue, Kernel, ProfGuard, Seed, SimDuration, SimTime, System,
+};
+use slsb_workload::{FleetError, FleetSpec, FleetSynthesis, InputKind, RequestPool, TraceSummary};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fixed cell count for intra-run parallelism. The app → cell mapping
+/// (`app % FLEET_CELLS`, capped by the app count) never depends on the
+/// worker budget, so results cannot vary with `--jobs`/`--shards`.
+pub const FLEET_CELLS: usize = 8;
+
+/// Where a fleet's apps come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FleetSource {
+    /// Synthesize from knobs (Zipf popularity over on/off tenants).
+    Synth {
+        /// Number of apps.
+        apps: u32,
+        /// Zipf popularity exponent (1.0–1.5 matches production studies).
+        zipf_exponent: f64,
+        /// Fleet-wide long-run request rate (req/s).
+        total_rate: f64,
+        /// Mean busy-period length, seconds.
+        mean_busy_s: f64,
+        /// Median idle gap, seconds (lognormal).
+        median_idle_s: f64,
+        /// Idle-gap lognormal sigma (heavy tail).
+        idle_sigma: f64,
+        /// Run duration, seconds.
+        duration_s: f64,
+    },
+    /// Replay an ingested trace summary (`slsb fleet ingest` output). The
+    /// path is resolved relative to the scenario file by the CLI; the core
+    /// library never touches the filesystem.
+    Trace {
+        /// Path to the canonical `slsb-fleet-trace/v1` JSON document.
+        path: String,
+    },
+}
+
+/// One complete, replayable fleet experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Human-readable name.
+    pub name: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Where the apps come from.
+    pub fleet: FleetSource,
+    /// Named deployment profiles. Synthesized apps round-robin over the
+    /// (sorted) profile names; trace apps reference profiles by name.
+    pub profiles: BTreeMap<String, Deployment>,
+    /// Per-request client timeout, seconds.
+    #[serde(default = "FleetScenario::default_timeout_s")]
+    pub timeout_s: f64,
+}
+
+/// Why a fleet scenario failed to load or resolve.
+#[derive(Debug)]
+pub enum FleetScenarioError {
+    /// JSON was malformed or did not match the schema.
+    Parse(serde_json::Error),
+    /// The `profiles` map is empty.
+    NoProfiles,
+    /// A trace app references a profile that is not in `profiles`.
+    UnknownProfile {
+        /// The referencing app.
+        app: String,
+        /// The missing profile name.
+        profile: String,
+    },
+    /// The fleet block is invalid (bad knob, bad trace document).
+    Fleet(FleetError),
+    /// A resolved per-app deployment violates a platform rule.
+    Plan(PlanError),
+    /// The scenario replays a trace but no trace document was supplied.
+    MissingTrace(String),
+}
+
+impl fmt::Display for FleetScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetScenarioError::Parse(e) => write!(f, "fleet scenario parse error: {e}"),
+            FleetScenarioError::NoProfiles => write!(f, "fleet scenario has no profiles"),
+            FleetScenarioError::UnknownProfile { app, profile } => {
+                write!(f, "app {app} references unknown profile {profile}")
+            }
+            FleetScenarioError::Fleet(e) => write!(f, "invalid fleet: {e}"),
+            FleetScenarioError::Plan(e) => write!(f, "invalid deployment: {e}"),
+            FleetScenarioError::MissingTrace(p) => {
+                write!(f, "fleet replays trace {p} but no trace document was provided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetScenarioError {}
+
+impl From<FleetError> for FleetScenarioError {
+    fn from(e: FleetError) -> Self {
+        FleetScenarioError::Fleet(e)
+    }
+}
+
+impl From<PlanError> for FleetScenarioError {
+    fn from(e: PlanError) -> Self {
+        FleetScenarioError::Plan(e)
+    }
+}
+
+/// A resolved fleet: the workload spec plus one validated deployment per
+/// app (profile copies with any per-app trace hints applied).
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// The multi-tenant workload.
+    pub spec: FleetSpec,
+    /// One deployment per app, in app order.
+    pub deployments: Vec<Deployment>,
+    /// Per-request client timeout.
+    pub timeout: SimDuration,
+}
+
+impl FleetScenario {
+    fn default_timeout_s() -> f64 {
+        60.0
+    }
+
+    /// Parses a fleet scenario from JSON.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema mismatch.
+    pub fn from_json(json: &str) -> Result<FleetScenario, FleetScenarioError> {
+        serde_json::from_str(json).map_err(FleetScenarioError::Parse)
+    }
+
+    /// Serializes the scenario to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet scenario is serializable")
+    }
+
+    /// The trace-document path this scenario needs, if it replays one.
+    pub fn trace_path(&self) -> Option<&str> {
+        match &self.fleet {
+            FleetSource::Trace { path } => Some(path),
+            FleetSource::Synth { .. } => None,
+        }
+    }
+
+    /// Scales the run duration (synthesized fleets only; `--scale`).
+    ///
+    /// # Errors
+    /// Fails for trace replays, whose duration is fixed by the ingested
+    /// bucket grid.
+    pub fn scale_duration(&mut self, factor: f64) -> Result<(), FleetScenarioError> {
+        match &mut self.fleet {
+            FleetSource::Synth { duration_s, .. } => {
+                *duration_s *= factor;
+                Ok(())
+            }
+            FleetSource::Trace { .. } => Err(FleetScenarioError::Fleet(FleetError::BadKnob(
+                "cannot scale a trace replay's duration".into(),
+            ))),
+        }
+    }
+
+    /// Resolves the scenario into a runnable [`FleetPlan`]. `trace_json`
+    /// carries the trace document's contents for [`FleetSource::Trace`]
+    /// scenarios (the CLI reads the file; the library stays fs-free).
+    ///
+    /// # Errors
+    /// Fails on invalid knobs, unknown profiles, missing trace input, or a
+    /// per-app deployment that violates a platform rule.
+    pub fn resolve(&self, trace_json: Option<&str>) -> Result<FleetPlan, FleetScenarioError> {
+        if self.profiles.is_empty() {
+            return Err(FleetScenarioError::NoProfiles);
+        }
+        let (spec, deployments) = match &self.fleet {
+            FleetSource::Synth {
+                apps,
+                zipf_exponent,
+                total_rate,
+                mean_busy_s,
+                median_idle_s,
+                idle_sigma,
+                duration_s,
+            } => {
+                let names: Vec<String> = self.profiles.keys().cloned().collect();
+                let spec = FleetSynthesis {
+                    apps: *apps,
+                    zipf_exponent: *zipf_exponent,
+                    total_rate: *total_rate,
+                    mean_busy_s: *mean_busy_s,
+                    median_idle_s: *median_idle_s,
+                    idle_sigma: *idle_sigma,
+                    duration_s: *duration_s,
+                }
+                .build(&self.name, &names)?;
+                let deployments = spec
+                    .apps
+                    .iter()
+                    .map(|a| self.profiles[&a.profile])
+                    .collect();
+                (spec, deployments)
+            }
+            FleetSource::Trace { path } => {
+                let json = trace_json
+                    .ok_or_else(|| FleetScenarioError::MissingTrace(path.clone()))?;
+                let summary = TraceSummary::from_json(json)?;
+                let mut deployments = Vec::with_capacity(summary.apps.len());
+                for app in &summary.apps {
+                    let base = self.profiles.get(&app.profile).ok_or_else(|| {
+                        FleetScenarioError::UnknownProfile {
+                            app: app.name.clone(),
+                            profile: app.profile.clone(),
+                        }
+                    })?;
+                    let mut dep = *base;
+                    if let Some(mb) = app.memory_mb_p50 {
+                        dep.memory_mb = mb;
+                    }
+                    if let Some(mb) = app.artifact_mb {
+                        dep.extra_download_mb += mb;
+                    }
+                    deployments.push(dep);
+                }
+                (summary.to_fleet_spec()?, deployments)
+            }
+        };
+        for dep in &deployments {
+            dep.validate()?;
+        }
+        Ok(FleetPlan {
+            spec,
+            deployments,
+            timeout: SimDuration::from_secs_f64(self.timeout_s),
+        })
+    }
+}
+
+/// Per-app outcome rollup of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppResult {
+    /// Global app index.
+    pub app: u32,
+    /// App name.
+    pub name: String,
+    /// Deployment-profile label.
+    pub profile: String,
+    /// Requests submitted by the trace.
+    pub requests: u64,
+    /// Successful responses within the client timeout.
+    pub ok: u64,
+    /// Failures by reason.
+    pub queue_full: u64,
+    /// Requests whose end-to-end time exceeded the timeout (including
+    /// requests still unresolved at the horizon).
+    pub timeout: u64,
+    /// Platform-rejected requests.
+    pub rejected: u64,
+    /// Throttled requests.
+    pub throttled: u64,
+    /// Requests lost to instance crashes.
+    pub crashed: u64,
+    /// Cold starts observed on this app's platform.
+    pub cold_starts: u64,
+    /// End-to-end latency p50 over successes, seconds.
+    pub p50_s: Option<f64>,
+    /// End-to-end latency p99 over successes, seconds.
+    pub p99_s: Option<f64>,
+    /// Run cost for this app's platform, dollars.
+    pub cost_dollars: f64,
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetRunResult {
+    /// Fleet name.
+    pub name: String,
+    /// Workload duration.
+    pub duration: SimDuration,
+    /// Total requests submitted.
+    pub requests: u64,
+    /// Per-app rollups, in global app order.
+    pub apps: Vec<AppResult>,
+    /// Fleet-wide platform report (per-app reports merged).
+    pub platform: PlatformReport,
+    /// Fleet-wide end-to-end latency over successes, seconds.
+    pub latency: LogLinearHistogram,
+    /// Discrete events the simulation kernel delivered, summed over cells.
+    pub engine_events: u64,
+}
+
+impl FleetRunResult {
+    /// Successful requests.
+    pub fn ok(&self) -> u64 {
+        self.apps.iter().map(|a| a.ok).sum()
+    }
+
+    /// Success ratio over submitted requests.
+    pub fn success_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 1.0;
+        }
+        self.ok() as f64 / self.requests as f64
+    }
+
+    /// Total run cost, dollars.
+    pub fn cost_dollars(&self) -> f64 {
+        self.platform.cost.total().as_dollars()
+    }
+}
+
+/// Runs [`FleetPlan`]s: one platform instance per app, arrivals pulled
+/// lazily from the streaming merge, apps partitioned over fixed cells.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    workers: usize,
+    network: NetworkProfile,
+    kernel: Kernel,
+    pool_size: usize,
+}
+
+impl Default for FleetRunner {
+    fn default() -> Self {
+        FleetRunner {
+            workers: 1,
+            network: NetworkProfile::DEFAULT,
+            kernel: Kernel::default(),
+            pool_size: RequestPool::DEFAULT_SIZE,
+        }
+    }
+}
+
+impl FleetRunner {
+    /// Sets the worker-thread budget. Results are byte-identical for every
+    /// value; only wall-clock time changes.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the event-queue kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Runs the fleet.
+    ///
+    /// # Errors
+    /// Fails when a per-app deployment cannot be built.
+    pub fn run(&self, plan: &FleetPlan, seed: Seed) -> Result<FleetRunResult, PlanError> {
+        self.run_inner(plan, seed, None)
+    }
+
+    /// [`FleetRunner::run`] with every trace event streamed into `rec`:
+    /// per-request spans (client = global app index), per-app
+    /// [`EventKind::AppClosed`] rollups, platform internals, and a single
+    /// merged [`EventKind::RunClosed`]. The returned result is identical to
+    /// an unrecorded run's.
+    ///
+    /// # Errors
+    /// Fails when a per-app deployment cannot be built.
+    pub fn run_recorded(
+        &self,
+        plan: &FleetPlan,
+        seed: Seed,
+        rec: &mut dyn Recorder,
+    ) -> Result<FleetRunResult, PlanError> {
+        self.run_inner(plan, seed, Some(rec))
+    }
+
+    fn run_inner(
+        &self,
+        plan: &FleetPlan,
+        seed: Seed,
+        rec: Option<&mut dyn Recorder>,
+    ) -> Result<FleetRunResult, PlanError> {
+        let n_apps = plan.spec.apps.len();
+        let cells = FLEET_CELLS.min(n_apps.max(1));
+        let tracing = rec.as_ref().map(|r| r.enabled()).unwrap_or(false);
+        let cell_ids: Vec<usize> = (0..cells).collect();
+        let outs = parallel_map(Jobs::new(self.workers), &cell_ids, |_, &cell| {
+            self.run_cell(plan, seed, cell, cells, tracing)
+        });
+
+        let mut cell_outs = Vec::with_capacity(cells);
+        for out in outs {
+            cell_outs.push(out?);
+        }
+
+        // Stitch per-app results back into global order: cell c owns apps
+        // {c, c + cells, c + 2·cells, …}, each cell's slots ascending.
+        let mut apps: Vec<Option<AppCellResult>> = (0..n_apps).map(|_| None).collect();
+        let mut engine_events = 0u64;
+        for (c, out) in cell_outs.iter_mut().enumerate() {
+            engine_events += out.engine_events;
+            for (slot, app) in out.apps.drain(..).enumerate() {
+                apps[c + slot * cells] = Some(app);
+            }
+        }
+        let apps: Vec<AppCellResult> = apps
+            .into_iter()
+            .map(|a| a.expect("every app belongs to exactly one cell"))
+            .collect();
+
+        let reports: Vec<PlatformReport> = apps.iter().map(|a| a.report.clone()).collect();
+        let platform = PlatformReport::merge_shards(&reports);
+        let mut latency = LogLinearHistogram::default();
+        let mut results = Vec::with_capacity(n_apps);
+        let mut requests = 0u64;
+        for (i, a) in apps.iter().enumerate() {
+            requests += a.submitted;
+            latency.merge(&a.latency);
+            let spec = &plan.spec.apps[i];
+            results.push(AppResult {
+                app: i as u32,
+                name: spec.name.clone(),
+                profile: spec.profile.clone(),
+                requests: a.submitted,
+                ok: a.ok,
+                queue_full: a.queue_full,
+                timeout: a.timeout,
+                rejected: a.rejected,
+                throttled: a.throttled,
+                crashed: a.crashed,
+                cold_starts: a.report.cold_started,
+                p50_s: a.latency.quantile(50.0),
+                p99_s: a.latency.quantile(99.0),
+                cost_dollars: a.report.cost.total().as_dollars(),
+            });
+        }
+
+        let horizon =
+            SimTime::ZERO + plan.spec.duration + plan.timeout + SimDuration::from_secs(30);
+        if tracing {
+            // Replay cell recordings in cell order — a fixed order for a
+            // fixed cell count, so the merged trace is byte-identical for
+            // any worker budget — and close the run once.
+            let _region = RegionGuard::enter(Region::Obs);
+            let _p = ProfGuard::enter("fleet/merge");
+            let rec = rec.expect("tracing implies a recorder");
+            for out in &cell_outs {
+                for ev in &out.records {
+                    rec.record(ev);
+                }
+            }
+            rec.record(&TraceEvent {
+                at: horizon,
+                kind: EventKind::RunClosed {
+                    engine_events,
+                    requests,
+                },
+            });
+        }
+
+        Ok(FleetRunResult {
+            name: plan.spec.name.clone(),
+            duration: plan.spec.duration,
+            requests,
+            apps: results,
+            platform,
+            latency,
+            engine_events,
+        })
+    }
+
+    /// Runs one cell: the apps `{cell, cell + cells, …}`, each on its own
+    /// platform, fed by the lazy merge of exactly those apps' arrival
+    /// substreams.
+    fn run_cell(
+        &self,
+        plan: &FleetPlan,
+        seed: Seed,
+        cell: usize,
+        cells: usize,
+        tracing: bool,
+    ) -> Result<FleetCellOut, PlanError> {
+        let _cell = ProfGuard::enter_root("fleet/cell");
+        let duration = plan.spec.duration;
+        let globals: Vec<u32> = (cell..plan.spec.apps.len())
+            .step_by(cells)
+            .map(|g| g as u32)
+            .collect();
+
+        // Per-app platforms, payloads, and counters. Pools are pure
+        // functions of (input kind, size, samples): memoize per cell.
+        let setup = ProfGuard::enter("fleet/setup");
+        let mut pools: BTreeMap<(bool, u32), RequestPool> = BTreeMap::new();
+        let mut apps = Vec::with_capacity(globals.len());
+        for &g in &globals {
+            let dep = &plan.deployments[g as usize];
+            let mut platform = dep.build(seed.substream_indexed("fleet-app", u64::from(g)))?;
+            let expected = plan.spec.apps[g as usize]
+                .process
+                .expected_requests(duration);
+            platform.reserve(expected.ceil() as usize + 8);
+            let image = dep.model.profile().image_input;
+            let kind = if image { InputKind::Image } else { InputKind::Text };
+            let pool = pools.entry((image, dep.samples_per_request)).or_insert_with(|| {
+                RequestPool::generate(kind, self.pool_size)
+                    .with_samples_per_request(dep.samples_per_request)
+            });
+            // One fixed payload per app: tenants re-send the same artifact.
+            let payload = pool.pick(&mut seed.substream_indexed("app-payload", u64::from(g)).rng());
+            apps.push(AppState {
+                platform,
+                global: g,
+                payload_bytes: payload.size_bytes,
+                inferences: dep.inference_repeats.max(1),
+                net_in: self.network.transfer_time(payload.size_bytes),
+                submitted: 0,
+                resolved: 0,
+                ok: 0,
+                queue_full: 0,
+                timeout: 0,
+                rejected: 0,
+                throttled: 0,
+                crashed: 0,
+                latency: LogLinearHistogram::default(),
+            });
+        }
+        let stream = plan
+            .spec
+            .arrival_stream_for(seed, globals.iter().copied());
+        drop(setup);
+
+        let engine_guard = ProfGuard::enter("fleet/engine");
+        let mut records = tracing.then(MemoryRecorder::new);
+        let mut buffer: Vec<(SimDuration, PlatformEvent)> = Vec::new();
+        let mut resp_scratch: Vec<ServingResponse> = Vec::new();
+        let queue =
+            EventQueue::with_kernel_and_capacity(self.kernel, (globals.len() * 4).max(64));
+        let mut engine = Engine::with_queue(
+            FleetSystem {
+                apps,
+                stream,
+                cells: cells as u32,
+                buffer: &mut buffer,
+                resp_scratch: &mut resp_scratch,
+                rec: records.as_mut().map(|r| r as &mut dyn Recorder),
+                timeout: plan.timeout,
+                response_net: self.network.response_time(),
+            },
+            queue,
+        );
+
+        let horizon = SimTime::ZERO + duration + plan.timeout + SimDuration::from_secs(30);
+
+        // Platform startups at t = 0, then the first merged arrival. Every
+        // later arrival is scheduled by its predecessor: the queue holds at
+        // most one pending arrival per cell at any instant.
+        for slot in 0..engine.system.apps.len() {
+            let sys = &mut engine.system;
+            {
+                let _region = RegionGuard::enter(Region::Platform);
+                let _p = ProfGuard::enter(sys.apps[slot].platform.prof_label());
+                let rec = sys.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+                let mut sched = PlatformScheduler::with_recorder(SimTime::ZERO, sys.buffer, rec);
+                sys.apps[slot].platform.start(&mut sched, SimTime::ZERO + duration);
+            }
+            let s = slot as u32;
+            engine.queue.schedule_many_after(
+                sys.buffer
+                    .drain(..)
+                    .map(|(d, e)| (d, FleetEvent::Platform(s, e))),
+            );
+        }
+        if let Some((at, global)) = engine.system.stream.next() {
+            let slot = global / cells as u32;
+            engine.queue.schedule_at(at, FleetEvent::Arrive(slot));
+        }
+
+        engine.run_until(horizon);
+        engine.queue.advance_to(horizon);
+        let engine_events = engine.events_processed();
+        drop(engine_guard);
+
+        // Teardown mirrors the single-app executor: rented capacity is
+        // released shortly after the workload ends; anything still
+        // unresolved at the horizon counts as a client timeout.
+        let _resolve = ProfGuard::enter("fleet/resolve");
+        let teardown = (SimTime::ZERO + duration + SimDuration::from_secs(30)).min(horizon);
+        let sys = &mut engine.system;
+        let mut out_apps = Vec::with_capacity(sys.apps.len());
+        for slot in 0..sys.apps.len() {
+            {
+                let _region = RegionGuard::enter(Region::Platform);
+                let _p = ProfGuard::enter(sys.apps[slot].platform.prof_label());
+                sys.apps[slot].platform.finalize(teardown);
+                sys.apps[slot]
+                    .platform
+                    .drain_responses_into(sys.resp_scratch);
+            }
+            let mut pending = std::mem::take(sys.resp_scratch);
+            for resp in pending.drain(..) {
+                sys.resolve(slot, resp);
+            }
+            *sys.resp_scratch = pending;
+            let a = &mut sys.apps[slot];
+            a.timeout += a.submitted - a.resolved;
+            let report = a.platform.report();
+            if let Some(r) = sys.rec.as_deref_mut() {
+                r.record(&TraceEvent {
+                    at: horizon,
+                    kind: EventKind::AppClosed {
+                        app: a.global,
+                        requests: a.submitted,
+                        cost_micro_dollars: report.cost.total().as_micro_dollars(),
+                    },
+                });
+            }
+            out_apps.push(AppCellResult {
+                submitted: a.submitted,
+                ok: a.ok,
+                queue_full: a.queue_full,
+                timeout: a.timeout,
+                rejected: a.rejected,
+                throttled: a.throttled,
+                crashed: a.crashed,
+                latency: std::mem::take(&mut a.latency),
+                report,
+            });
+        }
+
+        Ok(FleetCellOut {
+            apps: out_apps,
+            engine_events,
+            records: records.map(|r| r.into_events()).unwrap_or_default(),
+        })
+    }
+}
+
+/// Per-app rollup produced inside a cell (global naming happens later).
+struct AppCellResult {
+    submitted: u64,
+    ok: u64,
+    queue_full: u64,
+    timeout: u64,
+    rejected: u64,
+    throttled: u64,
+    crashed: u64,
+    latency: LogLinearHistogram,
+    report: PlatformReport,
+}
+
+struct FleetCellOut {
+    /// One entry per cell slot, slot order (= ascending global index).
+    apps: Vec<AppCellResult>,
+    engine_events: u64,
+    records: Vec<TraceEvent>,
+}
+
+/// Live state of one app inside a cell.
+struct AppState {
+    platform: Platform,
+    global: u32,
+    payload_bytes: u64,
+    inferences: u32,
+    /// Request-path network time for this app's fixed payload.
+    net_in: SimDuration,
+    submitted: u64,
+    resolved: u64,
+    ok: u64,
+    queue_full: u64,
+    timeout: u64,
+    rejected: u64,
+    throttled: u64,
+    crashed: u64,
+    latency: LogLinearHistogram,
+}
+
+/// Events of the fleet engine.
+#[derive(Debug, Clone)]
+enum FleetEvent {
+    /// A merged trace arrival fires for cell slot `.0`; handling it pulls
+    /// and schedules the next merged arrival.
+    Arrive(u32),
+    /// An arrival's payload finishes its network transfer and reaches slot
+    /// `.0`'s platform.
+    Deliver(u32),
+    /// A platform-internal event for slot `.0`.
+    Platform(u32, PlatformEvent),
+}
+
+struct FleetSystem<'r> {
+    /// Cell-local apps, slot order.
+    apps: Vec<AppState>,
+    /// Lazy k-way merge of this cell's arrival substreams.
+    stream: slsb_workload::FleetArrivalStream,
+    /// Total cell count (global index → slot = global / cells).
+    cells: u32,
+    /// Platform scheduling buffer, reused across calls.
+    buffer: &'r mut Vec<(SimDuration, PlatformEvent)>,
+    /// Response drain scratch, reused across calls.
+    resp_scratch: &'r mut Vec<ServingResponse>,
+    /// Trace sink threaded into platform schedulers, if recording.
+    rec: Option<&'r mut dyn Recorder>,
+    /// Per-request client timeout.
+    timeout: SimDuration,
+    /// Response-path network time.
+    response_net: SimDuration,
+}
+
+impl FleetSystem<'_> {
+    fn with_platform<R>(
+        &mut self,
+        queue: &mut EventQueue<FleetEvent>,
+        slot: usize,
+        f: impl FnOnce(&mut Platform, &mut PlatformScheduler<'_>) -> R,
+    ) -> R {
+        let r = {
+            let _region = RegionGuard::enter(Region::Platform);
+            let _p = ProfGuard::enter(self.apps[slot].platform.prof_label());
+            let rec = self.rec.as_deref_mut().map(|r| r as &mut dyn Recorder);
+            let mut sched = PlatformScheduler::with_recorder(queue.now(), self.buffer, rec);
+            f(&mut self.apps[slot].platform, &mut sched)
+        };
+        if !self.buffer.is_empty() {
+            let s = slot as u32;
+            queue.schedule_many_after(
+                self.buffer
+                    .drain(..)
+                    .map(|(d, e)| (d, FleetEvent::Platform(s, e))),
+            );
+        }
+        r
+    }
+
+    fn drain(&mut self, slot: usize) {
+        {
+            let _region = RegionGuard::enter(Region::Platform);
+            let _p = ProfGuard::enter(self.apps[slot].platform.prof_label());
+            self.apps[slot]
+                .platform
+                .drain_responses_into(self.resp_scratch);
+        }
+        if self.resp_scratch.is_empty() {
+            return;
+        }
+        // Swap the scratch out so `resolve` can borrow `self` freely;
+        // capacity is preserved across calls either way.
+        let mut pending = std::mem::take(self.resp_scratch);
+        for resp in pending.drain(..) {
+            self.resolve(slot, resp);
+        }
+        *self.resp_scratch = pending;
+    }
+
+    /// Resolves one response against the client timeout and folds it into
+    /// the app's counters (emitting a span when recording). The request id
+    /// encodes the trace-arrival instant in microseconds, so end-to-end
+    /// time needs no per-request bookkeeping.
+    fn resolve(&mut self, slot: usize, resp: ServingResponse) {
+        let arrival = SimTime::from_micros(resp.id.0);
+        let receive = resp.completed_at + self.response_net;
+        let e2e = receive.saturating_duration_since(arrival);
+        let a = &mut self.apps[slot];
+        a.resolved += 1;
+        let outcome = if e2e > self.timeout {
+            Outcome::Failure(FailureReason::ClientTimeout)
+        } else {
+            resp.outcome
+        };
+        match outcome {
+            Outcome::Success => {
+                a.ok += 1;
+                a.latency.record(e2e.as_secs_f64());
+            }
+            Outcome::Failure(FailureReason::QueueFull) => a.queue_full += 1,
+            Outcome::Failure(FailureReason::ClientTimeout) => a.timeout += 1,
+            Outcome::Failure(FailureReason::Rejected) => a.rejected += 1,
+            Outcome::Failure(FailureReason::Throttled) => a.throttled += 1,
+            Outcome::Failure(FailureReason::Crashed) => a.crashed += 1,
+            Outcome::Failure(FailureReason::RetriesExhausted) => a.timeout += 1,
+        }
+        if let Some(r) = self.rec.as_deref_mut() {
+            if r.enabled() {
+                let _region = RegionGuard::enter(Region::Obs);
+                let delivered = arrival + a.net_in;
+                let exec = resp
+                    .completed_at
+                    .saturating_duration_since(delivered + resp.queued);
+                r.record(&TraceEvent {
+                    at: receive,
+                    kind: EventKind::RequestSpan {
+                        request: resp.id.0,
+                        client: a.global,
+                        invocation: resp.id.0,
+                        arrival,
+                        batch: SimDuration::ZERO,
+                        net_in: a.net_in,
+                        queued: resp.queued,
+                        exec,
+                        net_out: self.response_net,
+                        cold: resp.cold_start.is_some(),
+                        outcome: match outcome {
+                            Outcome::Success => SpanOutcome::Success,
+                            Outcome::Failure(FailureReason::QueueFull) => SpanOutcome::QueueFull,
+                            Outcome::Failure(FailureReason::ClientTimeout) => {
+                                SpanOutcome::ClientTimeout
+                            }
+                            Outcome::Failure(FailureReason::Rejected) => SpanOutcome::Rejected,
+                            Outcome::Failure(FailureReason::Throttled) => SpanOutcome::Throttled,
+                            Outcome::Failure(FailureReason::Crashed) => SpanOutcome::Crashed,
+                            Outcome::Failure(FailureReason::RetriesExhausted) => {
+                                SpanOutcome::RetriesExhausted
+                            }
+                        },
+                    },
+                });
+            }
+        }
+    }
+}
+
+impl System for FleetSystem<'_> {
+    type Ev = FleetEvent;
+
+    fn handle(&mut self, queue: &mut EventQueue<FleetEvent>, at: SimTime, ev: FleetEvent) {
+        match ev {
+            FleetEvent::Arrive(slot) => {
+                let s = slot as usize;
+                self.apps[s].submitted += 1;
+                queue.schedule_at(at + self.apps[s].net_in, FleetEvent::Deliver(slot));
+                // Pull exactly one successor from the merge: arrival-side
+                // memory stays O(apps), independent of the request count.
+                if let Some((t, global)) = self.stream.next() {
+                    queue.schedule_at(t, FleetEvent::Arrive(global / self.cells));
+                }
+            }
+            FleetEvent::Deliver(slot) => {
+                let s = slot as usize;
+                let arrival =
+                    SimTime::from_micros(at.as_micros() - self.apps[s].net_in.as_micros());
+                let req = ServingRequest {
+                    id: RequestId(arrival.as_micros()),
+                    arrival: at,
+                    payload_bytes: self.apps[s].payload_bytes,
+                    inferences: self.apps[s].inferences,
+                };
+                self.with_platform(queue, s, |p, sched| p.submit(sched, req));
+                self.drain(s);
+            }
+            FleetEvent::Platform(slot, e) => {
+                let s = slot as usize;
+                self.with_platform(queue, s, |p, sched| p.handle(sched, e));
+                self.drain(s);
+            }
+        }
+    }
+}
+
+/// Metrics rollup of a fleet run: fleet-wide counters plus per-app
+/// distribution histograms (requests and cost over apps).
+pub fn fleet_metrics(run: &FleetRunResult) -> MetricsRegistry {
+    let _p = ProfGuard::enter("analyzer/fleet-metrics");
+    let mut m = MetricsRegistry::new();
+    m.inc("fleet_apps", run.apps.len() as u64);
+    m.inc("requests_total", run.requests);
+    m.inc("engine_events", run.engine_events);
+    m.inc("cold_starts", run.platform.cold_started);
+    m.inc("invocations", run.platform.invocations);
+    for a in &run.apps {
+        m.inc("requests_ok", a.ok);
+        m.inc("requests_queue_full", a.queue_full);
+        m.inc("requests_timeout", a.timeout);
+        m.inc("requests_rejected", a.rejected);
+        m.inc("requests_throttled", a.throttled);
+        m.inc("requests_crashed", a.crashed);
+        m.observe("app_requests", a.requests as f64);
+        m.observe("app_cost_dollars", a.cost_dollars);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsb_model::{ModelKind, RuntimeKind};
+    use slsb_platform::PlatformKind;
+
+    fn profile() -> Deployment {
+        Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        )
+    }
+
+    fn scenario(apps: u32, rate: f64, secs: f64) -> FleetScenario {
+        let mut profiles = BTreeMap::new();
+        profiles.insert("edge".to_string(), profile());
+        profiles.insert("bulk".to_string(), profile().with_memory_mb(4096.0));
+        FleetScenario {
+            name: "fleet-test".into(),
+            seed: 11,
+            fleet: FleetSource::Synth {
+                apps,
+                zipf_exponent: 1.1,
+                total_rate: rate,
+                mean_busy_s: 10.0,
+                median_idle_s: 30.0,
+                idle_sigma: 1.5,
+                duration_s: secs,
+            },
+            profiles,
+            timeout_s: 60.0,
+        }
+    }
+
+    #[test]
+    fn fleet_scenario_json_roundtrip() {
+        let sc = scenario(40, 20.0, 120.0);
+        let parsed = FleetScenario::from_json(&sc.to_json()).expect("roundtrip");
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn fleet_run_is_identical_across_worker_budgets() {
+        let plan = scenario(40, 25.0, 150.0).resolve(None).expect("resolve");
+        let seed = Seed(11);
+        let one = FleetRunner::default().run(&plan, seed).expect("run");
+        let four = FleetRunner::default()
+            .with_workers(4)
+            .run(&plan, seed)
+            .expect("run");
+        assert!(one.requests > 0, "fleet produced no requests");
+        assert_eq!(
+            serde_json::to_string(&one.apps).unwrap(),
+            serde_json::to_string(&four.apps).unwrap()
+        );
+        assert_eq!(one.requests, four.requests);
+        assert_eq!(one.engine_events, four.engine_events);
+        assert_eq!(format!("{:?}", one.platform), format!("{:?}", four.platform));
+    }
+
+    #[test]
+    fn fleet_recording_is_identical_across_worker_budgets() {
+        let plan = scenario(24, 15.0, 90.0).resolve(None).expect("resolve");
+        let seed = Seed(3);
+        let mut rec1 = MemoryRecorder::new();
+        let mut rec4 = MemoryRecorder::new();
+        FleetRunner::default()
+            .run_recorded(&plan, seed, &mut rec1)
+            .expect("run");
+        FleetRunner::default()
+            .with_workers(4)
+            .run_recorded(&plan, seed, &mut rec4)
+            .expect("run");
+        assert!(!rec1.events().is_empty());
+        assert_eq!(
+            serde_json::to_string(&rec1.events().to_vec()).unwrap(),
+            serde_json::to_string(&rec4.events().to_vec()).unwrap()
+        );
+        let closes = rec1
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RunClosed { .. }))
+            .count();
+        assert_eq!(closes, 1, "exactly one merged RunClosed");
+        let app_closes = rec1
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AppClosed { .. }))
+            .count();
+        assert_eq!(app_closes, 24, "one AppClosed per app");
+    }
+
+    #[test]
+    fn fleet_accounts_every_arrival() {
+        let plan = scenario(16, 20.0, 120.0).resolve(None).expect("resolve");
+        let seed = Seed(5);
+        let run = FleetRunner::default().run(&plan, seed).expect("run");
+        let expected = plan.spec.arrival_stream(seed).count() as u64;
+        assert_eq!(run.requests, expected, "every merged arrival submitted");
+        let resolved: u64 = run
+            .apps
+            .iter()
+            .map(|a| a.ok + a.queue_full + a.timeout + a.rejected + a.throttled + a.crashed)
+            .sum();
+        assert_eq!(resolved, run.requests, "every request resolved somewhere");
+        assert!(run.success_ratio() > 0.5, "fleet mostly succeeds");
+    }
+
+    #[test]
+    fn fleet_metrics_rolls_up() {
+        let plan = scenario(12, 10.0, 90.0).resolve(None).expect("resolve");
+        let run = FleetRunner::default().run(&plan, Seed(2)).expect("run");
+        let m = fleet_metrics(&run);
+        assert_eq!(m.counter("fleet_apps"), 12);
+        assert_eq!(m.counter("requests_total"), run.requests);
+        assert!(m.histogram("app_requests").is_some());
+    }
+
+    #[test]
+    fn trace_replay_applies_profile_hints() {
+        let summary = TraceSummary {
+            schema: slsb_workload::FLEET_TRACE_SCHEMA.to_string(),
+            name: "hints".into(),
+            bucket_s: 60.0,
+            buckets: 2,
+            apps: vec![slsb_workload::TraceApp {
+                name: "a".into(),
+                profile: "edge".into(),
+                invocations: vec![3, 1],
+                duration_ms_p50: Some(80.0),
+                memory_mb_p50: Some(3072.0),
+                artifact_mb: Some(25.0),
+            }],
+        };
+        let mut profiles = BTreeMap::new();
+        profiles.insert("edge".to_string(), profile());
+        let sc = FleetScenario {
+            name: "trace-test".into(),
+            seed: 1,
+            fleet: FleetSource::Trace {
+                path: "raw.json".into(),
+            },
+            profiles,
+            timeout_s: 60.0,
+        };
+        let plan = sc.resolve(Some(&summary.to_json())).expect("resolve");
+        assert_eq!(plan.deployments[0].memory_mb, 3072.0);
+        assert!(plan.deployments[0].extra_download_mb >= 25.0);
+        let run = FleetRunner::default().run(&plan, Seed(1)).expect("run");
+        assert_eq!(run.requests, 4, "bucket replay is exact");
+    }
+
+    #[test]
+    fn missing_trace_and_unknown_profile_are_errors() {
+        let mut profiles = BTreeMap::new();
+        profiles.insert("edge".to_string(), profile());
+        let sc = FleetScenario {
+            name: "t".into(),
+            seed: 1,
+            fleet: FleetSource::Trace {
+                path: "raw.json".into(),
+            },
+            profiles,
+            timeout_s: 60.0,
+        };
+        assert!(matches!(
+            sc.resolve(None),
+            Err(FleetScenarioError::MissingTrace(_))
+        ));
+        let summary = TraceSummary {
+            schema: slsb_workload::FLEET_TRACE_SCHEMA.to_string(),
+            name: "x".into(),
+            bucket_s: 60.0,
+            buckets: 1,
+            apps: vec![slsb_workload::TraceApp {
+                name: "a".into(),
+                profile: "nope".into(),
+                invocations: vec![1],
+                duration_ms_p50: None,
+                memory_mb_p50: None,
+                artifact_mb: None,
+            }],
+        };
+        assert!(matches!(
+            sc.resolve(Some(&summary.to_json())),
+            Err(FleetScenarioError::UnknownProfile { .. })
+        ));
+    }
+}

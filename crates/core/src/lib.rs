@@ -46,6 +46,7 @@ pub mod analyzer;
 pub mod batching;
 pub mod executor;
 pub mod experiment;
+pub mod fleet;
 pub mod explorer;
 pub mod plan;
 pub mod replication;
@@ -61,6 +62,10 @@ pub use analyzer::{
 pub use batching::{plan_invocations, BatchPolicy, Invocation};
 pub use executor::{Executor, ExecutorConfig, RequestRecord, RetryPolicy, RunResult};
 pub use experiment::ExperimentId;
+pub use fleet::{
+    fleet_metrics, AppResult, FleetPlan, FleetRunResult, FleetRunner, FleetScenario,
+    FleetScenarioError, FleetSource, FLEET_CELLS,
+};
 pub use explorer::{explore, explore_jobs, Candidate, Exploration, ExplorerGrid};
 pub use plan::{Deployment, PlanError};
 pub use replication::{replicate, replicate_jobs, MetricSummary, Replication};

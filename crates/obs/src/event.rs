@@ -294,6 +294,17 @@ pub enum EventKind {
         /// Terminal outcome.
         outcome: SpanOutcome,
     },
+    /// Fleet runs: one app's closing summary, emitted per tenant before
+    /// `RunClosed`. Joins to spans via the span `client` label, which fleet
+    /// runs set to the global app index.
+    AppClosed {
+        /// Global app index.
+        app: u32,
+        /// Requests the app received.
+        requests: u64,
+        /// The app's total serving cost, integer micro-dollars.
+        cost_micro_dollars: i64,
+    },
     /// End of trace: engine bookkeeping for cross-checking.
     RunClosed {
         /// Events the simulation engine processed.
@@ -320,6 +331,7 @@ impl EventKind {
             EventKind::BillingTick { .. } => "billing_tick",
             EventKind::Fault { .. } => "fault",
             EventKind::RequestSpan { .. } => "request_span",
+            EventKind::AppClosed { .. } => "app_closed",
             EventKind::RunClosed { .. } => "run_closed",
         }
     }

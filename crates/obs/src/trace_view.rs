@@ -440,6 +440,103 @@ pub fn instance_timeline(events: &[TraceEvent], limit: usize) -> String {
     out
 }
 
+#[derive(Debug, Default)]
+struct AppRow {
+    requests: u64,
+    ok: u64,
+    cold: u64,
+    latencies_us: Vec<u64>,
+    cost_micro_dollars: Option<i64>,
+}
+
+/// Per-tenant breakdown for fleet traces: requests, cold-start ratio, p99
+/// latency, and serving cost for the top-`limit` apps by request count.
+/// Fleet runs label each span's `client` with the global app index and emit
+/// one `AppClosed` per tenant carrying the cost; single-app traces degrade
+/// to one row per client with cost shown as `-`.
+pub fn app_breakdown(events: &[TraceEvent], limit: usize) -> String {
+    let mut rows: BTreeMap<u32, AppRow> = BTreeMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::RequestSpan {
+                client,
+                cold,
+                outcome,
+                batch,
+                net_in,
+                queued,
+                exec,
+                net_out,
+                ..
+            } => {
+                let row = rows.entry(client).or_default();
+                row.requests += 1;
+                if outcome.is_success() {
+                    row.ok += 1;
+                    row.latencies_us
+                        .push((batch + net_in + queued + exec + net_out).as_micros());
+                }
+                if cold {
+                    row.cold += 1;
+                }
+            }
+            EventKind::AppClosed {
+                app,
+                requests,
+                cost_micro_dollars,
+            } => {
+                let row = rows.entry(app).or_default();
+                row.cost_micro_dollars = Some(cost_micro_dollars);
+                // Spans are only emitted for resolved requests; the closing
+                // record is authoritative for the submitted count.
+                row.requests = row.requests.max(requests);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("  (no per-app events)\n");
+        return out;
+    }
+    let total = rows.len();
+    let mut ordered: Vec<(u32, AppRow)> = rows.into_iter().collect();
+    // Busiest first; app index breaks ties so the rendering is stable.
+    ordered.sort_by(|a, b| b.1.requests.cmp(&a.1.requests).then(a.0.cmp(&b.0)));
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>10} {:>8} {:>7} {:>10} {:>12}",
+        "app", "requests", "ok", "cold", "p99", "cost"
+    );
+    for (app, row) in ordered.iter_mut().take(limit) {
+        row.latencies_us.sort_unstable();
+        let p99 = if row.latencies_us.is_empty() {
+            "-".to_string()
+        } else {
+            let rank = (row.latencies_us.len() as f64 * 0.99).ceil() as usize;
+            let us = row.latencies_us[rank.saturating_sub(1).min(row.latencies_us.len() - 1)];
+            format!("{:.3}s", us as f64 / 1e6)
+        };
+        let cost = row
+            .cost_micro_dollars
+            .map_or("-".to_string(), |c| format!("${:.4}", c as f64 / 1e6));
+        let cold_pct = if row.requests == 0 {
+            0.0
+        } else {
+            100.0 * row.cold as f64 / row.requests as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>10} {:>8} {:>6.1}% {:>10} {:>12}",
+            app, row.requests, row.ok, cold_pct, p99, cost,
+        );
+    }
+    if total > limit {
+        let _ = writeln!(out, "  … {} more apps", total - limit);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,5 +734,55 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].total(), SimDuration::from_millis(1 + 2 + 3 + 10 + 4));
         assert!(run_closed(&events).is_none());
+    }
+
+    #[test]
+    fn app_breakdown_ranks_tenants_and_joins_cost() {
+        let span_for = |app: u32, request: u64, cold: bool| TraceEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::RequestSpan {
+                request,
+                client: app,
+                invocation: request,
+                arrival: SimTime::ZERO,
+                batch: SimDuration::ZERO,
+                net_in: SimDuration::from_millis(2),
+                queued: SimDuration::ZERO,
+                exec: SimDuration::from_millis(30),
+                net_out: SimDuration::from_millis(2),
+                cold,
+                outcome: SpanOutcome::Success,
+            },
+        };
+        let mut events = vec![
+            span_for(3, 0, true),
+            span_for(3, 1, false),
+            span_for(3, 2, false),
+            span_for(9, 3, true),
+        ];
+        events.push(TraceEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::AppClosed {
+                app: 3,
+                requests: 3,
+                cost_micro_dollars: 1_234_500,
+            },
+        });
+        let t = app_breakdown(&events, 10);
+        // Busiest app first, with its AppClosed cost joined in.
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[1].trim_start().starts_with('3'), "{t}");
+        assert!(lines[1].contains("$1.2345"), "{t}");
+        // App 9 has no AppClosed record: cost renders as `-`.
+        assert!(lines[2].trim_start().starts_with('9'), "{t}");
+        assert!(lines[2].trim_end().ends_with('-'), "{t}");
+        assert!(t.contains("p99"), "{t}");
+
+        // Truncation note for limits below the app count.
+        let t = app_breakdown(&events, 1);
+        assert!(t.contains("1 more apps"), "{t}");
+
+        let none = app_breakdown(&[], 5);
+        assert!(none.contains("no per-app events"), "{none}");
     }
 }

@@ -68,6 +68,7 @@ fn splitmix64_mix(mut z: u64) -> u64 {
 
 /// Seeded random source with samplers for the distributions the simulators
 /// use. Internally a xoshiro256++ generator.
+#[derive(Debug, Clone)]
 pub struct SimRng {
     state: [u64; 4],
 }

@@ -413,22 +413,48 @@ impl GaugeSeries {
         let mut out = GaugeSeries::new();
         out.points.reserve(total);
         let mut sum = 0i64;
-        for _ in 0..total {
+        if parts.len() <= 8 {
             // k is small (one part per shard); a linear scan beats a heap.
-            let mut best: Option<(SimTime, usize)> = None;
-            for (i, p) in parts.iter().enumerate() {
-                if let Some(&(t, _)) = p.points.get(cursor[i]) {
-                    if best.is_none_or(|(bt, _)| t < bt) {
-                        best = Some((t, i));
+            for _ in 0..total {
+                let mut best: Option<(SimTime, usize)> = None;
+                for (i, p) in parts.iter().enumerate() {
+                    if let Some(&(t, _)) = p.points.get(cursor[i]) {
+                        if best.is_none_or(|(bt, _)| t < bt) {
+                            best = Some((t, i));
+                        }
                     }
                 }
+                let (t, i) = best.expect("total counted points");
+                let (_, v) = parts[i].points[cursor[i]];
+                sum += v - prev[i];
+                prev[i] = v;
+                cursor[i] += 1;
+                out.record(t, sum);
             }
-            let (t, i) = best.expect("total counted points");
-            let (_, v) = parts[i].points[cursor[i]];
-            sum += v - prev[i];
-            prev[i] = v;
-            cursor[i] += 1;
-            out.record(t, sum);
+        } else {
+            // Large k (fleet runs merge one series per app): a min-heap on
+            // (t, part) makes this O(total log k). The tuple order pops the
+            // lowest-index part among equal instants — exactly the choice
+            // the linear scan makes — so both paths are byte-identical.
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+                BinaryHeap::with_capacity(parts.len());
+            for (i, p) in parts.iter().enumerate() {
+                if let Some(&(t, _)) = p.points.first() {
+                    heap.push(Reverse((t, i)));
+                }
+            }
+            while let Some(Reverse((t, i))) = heap.pop() {
+                let (_, v) = parts[i].points[cursor[i]];
+                sum += v - prev[i];
+                prev[i] = v;
+                cursor[i] += 1;
+                if let Some(&(nt, _)) = parts[i].points.get(cursor[i]) {
+                    heap.push(Reverse((nt, i)));
+                }
+                out.record(t, sum);
+            }
         }
         out
     }
@@ -754,5 +780,31 @@ mod tests {
             GaugeSeries::merge_summed([&a, &b]).points()
         );
         assert!(GaugeSeries::merge_summed([]).points().is_empty());
+    }
+
+    #[test]
+    fn gauge_merge_heap_path_matches_linear_scan() {
+        // Above 8 parts the merge switches to a heap; both paths must be
+        // byte-identical, including the tie-break among equal instants.
+        let parts: Vec<GaugeSeries> = (0..20)
+            .map(|i| {
+                let mut g = GaugeSeries::new();
+                // Deliberate cross-part timestamp collisions.
+                g.record_delta(secs((i % 5) as f64), i + 1);
+                g.record_delta(secs(5.0 + (i % 3) as f64), -(i + 1) / 2);
+                g
+            })
+            .collect();
+        let heap_merged = GaugeSeries::merge_summed(parts.iter());
+        // Pairwise-fold through the ≤8-part linear path as the oracle.
+        let mut oracle = GaugeSeries::new();
+        for p in &parts {
+            oracle = GaugeSeries::merge_summed([&oracle, p]);
+        }
+        assert_eq!(heap_merged.points(), oracle.points());
+        for t in [0.0, 1.0, 2.5, 4.0, 5.0, 6.0, 7.0, 10.0] {
+            let want: i64 = parts.iter().map(|p| p.value_at(secs(t))).sum();
+            assert_eq!(heap_merged.value_at(secs(t)), want, "t = {t}");
+        }
     }
 }

@@ -12,7 +12,11 @@
 //! - [`request`] — pools of distinct request payloads (default 200) so the
 //!   serving side cannot cache predictions;
 //! - [`trace`] — the materialized [`WorkloadTrace`] with rate-series export
-//!   for regenerating Figure 4.
+//!   for regenerating Figure 4;
+//! - [`stream`] — pull-based arrival iterators (byte-identical to the
+//!   materialized generators, O(1) memory);
+//! - [`fleet`] — multi-tenant fleets: production trace-summary ingest,
+//!   Zipf/idle-knob synthesis, and the streaming k-way arrival merge.
 //!
 //! ```
 //! use slsb_sim::Seed;
@@ -27,16 +31,23 @@
 //! assert_eq!(total, trace.len());
 //! ```
 
+pub mod fleet;
 pub mod mmpp;
 pub mod patterns;
 pub mod poisson;
 pub mod request;
 pub mod splitter;
+pub mod stream;
 pub mod trace;
 
+pub use fleet::{
+    AppProcess, AppSpec, AppStream, FleetArrivalStream, FleetError, FleetSpec, FleetSynthesis,
+    TraceApp, TraceSummary, FLEET_TRACE_SCHEMA,
+};
 pub use mmpp::{MmppPreset, MmppSpec, Phase};
 pub use patterns::{DiurnalSpec, FlashCrowdSpec};
 pub use poisson::PoissonProcess;
 pub use request::{InputKind, Payload, RequestPool};
 pub use splitter::{merge, split_round_robin};
+pub use stream::MmppStream;
 pub use trace::{Burstiness, TraceParseError, WorkloadTrace};

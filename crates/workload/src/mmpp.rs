@@ -8,9 +8,10 @@
 //! unpredictable, with random surge onsets and durations (the paper's
 //! Figure 4).
 
+use crate::stream::MmppStream;
 use crate::trace::WorkloadTrace;
 use serde::{Deserialize, Serialize};
-use slsb_sim::{Seed, SimDuration, SimTime};
+use slsb_sim::{Seed, SimDuration};
 
 /// Which of the two modulation states the chain is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,58 +131,25 @@ impl MmppSpec {
         self.stationary_rate() * self.duration.as_secs_f64()
     }
 
+    /// A lazy iterator over this spec's arrivals — same seed, same draw
+    /// order, byte-identical sequence to [`MmppSpec::generate`], but O(1)
+    /// memory. Fleet runs pull from this instead of materializing.
+    pub fn stream(&self, seed: Seed) -> MmppStream {
+        MmppStream::new(*self, seed)
+    }
+
     /// Samples a full trace.
     ///
     /// The chain starts in a state drawn from the stationary distribution.
     /// Within each sojourn, arrivals are generated by sequential exponential
     /// gaps at the state's rate; the partial gap at a state switch is
     /// restarted, which is the standard (memoryless-exact) construction.
+    /// This is a thin collect over [`MmppSpec::stream`].
     pub fn generate(&self, seed: Seed) -> WorkloadTrace {
-        assert!(
-            self.rate_high.is_finite() && self.rate_high >= 0.0,
-            "invalid rate_high"
-        );
-        assert!(
-            self.rate_low.is_finite() && self.rate_low >= 0.0,
-            "invalid rate_low"
-        );
-        let mut chain = seed.substream("mmpp-chain").rng();
-        let mut arr = seed.substream("mmpp-arrivals").rng();
-
         let mut arrivals = Vec::with_capacity((self.expected_requests() * 1.2).max(16.0) as usize);
-        let mut phase = if chain.chance(self.stationary_high()) {
-            Phase::High
-        } else {
-            Phase::Low
-        };
-        let end = SimTime::ZERO + self.duration;
-        let mut segment_start = SimTime::ZERO;
-
-        while segment_start < end {
-            let (rate, dwell) = match phase {
-                Phase::High => (self.rate_high, self.mean_high_dwell),
-                Phase::Low => (self.rate_low, self.mean_low_dwell),
-            };
-            let sojourn = chain.exp_mean(dwell);
-            let segment_end = segment_start.saturating_add(sojourn).min(end);
-            if rate > 0.0 {
-                let mut t = segment_start;
-                loop {
-                    t += arr.exp_interval(rate);
-                    if t >= segment_end {
-                        break;
-                    }
-                    arrivals.push(t);
-                }
-            }
-            segment_start = segment_end;
-            phase = match phase {
-                Phase::High => Phase::Low,
-                Phase::Low => Phase::High,
-            };
-        }
+        arrivals.extend(self.stream(seed));
         // A sample can land exactly on `duration` only via rounding; the
-        // trace type requires arrivals ≤ duration, which holds by the loop
+        // trace type requires arrivals ≤ duration, which holds by the stream
         // bound (t < segment_end ≤ end).
         WorkloadTrace::new(self.name, self.duration, arrivals)
     }

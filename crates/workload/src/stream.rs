@@ -1,0 +1,172 @@
+//! Pull-based arrival generation.
+//!
+//! [`MmppStream`] yields the exact arrival sequence of
+//! [`MmppSpec::generate`](crate::MmppSpec::generate) one instant at a time:
+//! same seed, same substreams, same draw order, byte-identical output. The
+//! materialized path is a thin `collect` over this iterator, so a consumer
+//! that can pull lazily (the fleet engine) holds O(1) state per process
+//! instead of O(requests).
+
+use crate::mmpp::{MmppSpec, Phase};
+use slsb_sim::{Seed, SimRng, SimTime};
+
+/// Lazy iterator over one MMPP's arrival instants, in order.
+///
+/// Draw-order contract (load-bearing for determinism): the phase chain and
+/// the arrival gaps consume two independent RNG substreams (`"mmpp-chain"`,
+/// `"mmpp-arrivals"`), the initial phase is one stationary coin flip on the
+/// chain stream, each segment costs one sojourn draw, and every arrival —
+/// including the discarded overshoot that ends a segment — costs one
+/// exponential gap. This mirrors the historical materializing generator
+/// exactly, which is pinned by proptests in `tests/properties.rs`.
+#[derive(Debug, Clone)]
+pub struct MmppStream {
+    spec: MmppSpec,
+    chain: SimRng,
+    arr: SimRng,
+    phase: Phase,
+    end: SimTime,
+    segment_start: SimTime,
+    segment_end: SimTime,
+    cursor: SimTime,
+    in_segment: bool,
+}
+
+impl MmppStream {
+    /// Starts a stream for `spec`; the chain's initial phase is drawn from
+    /// the stationary distribution.
+    ///
+    /// # Panics
+    /// Panics when either rate is negative or non-finite.
+    pub fn new(spec: MmppSpec, seed: Seed) -> Self {
+        assert!(
+            spec.rate_high.is_finite() && spec.rate_high >= 0.0,
+            "invalid rate_high"
+        );
+        assert!(
+            spec.rate_low.is_finite() && spec.rate_low >= 0.0,
+            "invalid rate_low"
+        );
+        let mut chain = seed.substream("mmpp-chain").rng();
+        let arr = seed.substream("mmpp-arrivals").rng();
+        let phase = if chain.chance(spec.stationary_high()) {
+            Phase::High
+        } else {
+            Phase::Low
+        };
+        MmppStream {
+            spec,
+            chain,
+            arr,
+            phase,
+            end: SimTime::ZERO + spec.duration,
+            segment_start: SimTime::ZERO,
+            segment_end: SimTime::ZERO,
+            cursor: SimTime::ZERO,
+            in_segment: false,
+        }
+    }
+
+    fn params(&self) -> (f64, slsb_sim::SimDuration) {
+        match self.phase {
+            Phase::High => (self.spec.rate_high, self.spec.mean_high_dwell),
+            Phase::Low => (self.spec.rate_low, self.spec.mean_low_dwell),
+        }
+    }
+
+    fn flip(&mut self) {
+        self.phase = match self.phase {
+            Phase::High => Phase::Low,
+            Phase::Low => Phase::High,
+        };
+    }
+}
+
+impl Iterator for MmppStream {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        loop {
+            if self.in_segment {
+                let (rate, _) = self.params();
+                let t = self.cursor + self.arr.exp_interval(rate);
+                if t >= self.segment_end {
+                    // Overshoot: the partial gap is discarded and restarted
+                    // in the next state (memoryless-exact construction).
+                    self.in_segment = false;
+                    self.segment_start = self.segment_end;
+                    self.flip();
+                } else {
+                    self.cursor = t;
+                    return Some(t);
+                }
+            } else {
+                if self.segment_start >= self.end {
+                    return None;
+                }
+                let (rate, dwell) = self.params();
+                let sojourn = self.chain.exp_mean(dwell);
+                self.segment_end = self.segment_start.saturating_add(sojourn).min(self.end);
+                if rate > 0.0 {
+                    self.in_segment = true;
+                    self.cursor = self.segment_start;
+                } else {
+                    // Silent state: no arrival draws at all, just advance.
+                    self.segment_start = self.segment_end;
+                    self.flip();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmpp::MmppPreset;
+    use slsb_sim::SimDuration;
+
+    #[test]
+    fn stream_matches_materialized_for_presets() {
+        for p in MmppPreset::ALL {
+            for s in [0u64, 1, 7, 42] {
+                let spec = p.spec();
+                let eager = spec.generate(Seed(s));
+                let lazy: Vec<SimTime> = MmppStream::new(spec, Seed(s)).collect();
+                assert_eq!(eager.arrivals(), &lazy[..], "{p:?} seed {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_bounded() {
+        let spec = MmppPreset::W40.spec();
+        let arrivals: Vec<SimTime> = MmppStream::new(spec, Seed(3)).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let end = SimTime::ZERO + spec.duration;
+        assert!(arrivals.iter().all(|&t| t < end));
+    }
+
+    #[test]
+    fn silent_low_state_draws_nothing() {
+        let spec = MmppSpec {
+            name: "zero-low",
+            rate_high: 10.0,
+            rate_low: 0.0,
+            mean_high_dwell: SimDuration::from_secs(10),
+            mean_low_dwell: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(100),
+        };
+        let eager = spec.generate(Seed(1));
+        let lazy: Vec<SimTime> = MmppStream::new(spec, Seed(1)).collect();
+        assert_eq!(eager.arrivals(), &lazy[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate_high")]
+    fn rejects_nan_rate() {
+        let mut spec = MmppPreset::W40.spec();
+        spec.rate_high = f64::NAN;
+        MmppStream::new(spec, Seed(0));
+    }
+}

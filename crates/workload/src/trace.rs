@@ -22,24 +22,43 @@ impl WorkloadTrace {
     /// `duration` are rejected.
     ///
     /// # Panics
-    /// Panics if any arrival exceeds `duration`.
+    /// Panics if any arrival exceeds `duration`. Internal generators uphold
+    /// that invariant by construction; ingest paths that handle untrusted
+    /// files use [`WorkloadTrace::try_new`] instead.
     pub fn new(
         name: impl Into<Arc<str>>,
         duration: SimDuration,
-        mut arrivals: Vec<SimTime>,
+        arrivals: Vec<SimTime>,
     ) -> Self {
+        Self::try_new(name, duration, arrivals).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`WorkloadTrace::new`]: out-of-duration arrivals come back
+    /// as a diagnostic instead of a panic, so malformed production traces
+    /// fail cleanly at the ingest boundary.
+    ///
+    /// # Errors
+    /// [`TraceParseError::ArrivalBeyondDuration`] when any arrival exceeds
+    /// `duration`.
+    pub fn try_new(
+        name: impl Into<Arc<str>>,
+        duration: SimDuration,
+        mut arrivals: Vec<SimTime>,
+    ) -> Result<Self, TraceParseError> {
         arrivals.sort_unstable();
         if let Some(&last) = arrivals.last() {
-            assert!(
-                last.as_micros() <= duration.as_micros(),
-                "arrival {last} beyond workload duration {duration}"
-            );
+            if last.as_micros() > duration.as_micros() {
+                return Err(TraceParseError::ArrivalBeyondDuration {
+                    arrival: last,
+                    duration,
+                });
+            }
         }
-        WorkloadTrace {
+        Ok(WorkloadTrace {
             name: name.into(),
             duration,
             arrivals,
-        }
+        })
     }
 
     /// Human-readable workload name (e.g. `"workload-120"`).
@@ -182,7 +201,7 @@ impl WorkloadTrace {
                     .map_err(|_| TraceParseError::BadField(line.to_string()))?,
             ));
         }
-        Ok(WorkloadTrace::new(name, duration, arrivals))
+        WorkloadTrace::try_new(name, duration, arrivals)
     }
 }
 
@@ -203,6 +222,13 @@ pub enum TraceParseError {
     MissingHeader,
     /// A field or arrival line failed to parse.
     BadField(String),
+    /// An arrival instant lies past the declared trace duration.
+    ArrivalBeyondDuration {
+        /// The offending (latest) arrival.
+        arrival: SimTime,
+        /// The declared trace duration.
+        duration: SimDuration,
+    },
 }
 
 impl fmt::Display for TraceParseError {
@@ -210,6 +236,9 @@ impl fmt::Display for TraceParseError {
         match self {
             TraceParseError::MissingHeader => write!(f, "missing trace header"),
             TraceParseError::BadField(s) => write!(f, "unparseable trace field: {s:?}"),
+            TraceParseError::ArrivalBeyondDuration { arrival, duration } => {
+                write!(f, "arrival {arrival} beyond workload duration {duration}")
+            }
         }
     }
 }
@@ -291,6 +320,47 @@ mod tests {
             WorkloadTrace::from_csv("# name=a,duration_us=xyz\n"),
             Err(TraceParseError::BadField(_))
         ));
+    }
+
+    #[test]
+    fn try_new_reports_out_of_range_arrival() {
+        let err =
+            WorkloadTrace::try_new("bad", SimDuration::from_secs(10), vec![t(11.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            TraceParseError::ArrivalBeyondDuration {
+                arrival: t(11.0),
+                duration: SimDuration::from_secs(10),
+            }
+        );
+        assert!(err.to_string().contains("beyond workload duration"));
+    }
+
+    #[test]
+    fn csv_with_out_of_range_arrival_is_an_error_not_a_panic() {
+        let csv = "# name=bad,duration_us=1000\narrival_us\n2000\n";
+        assert!(matches!(
+            WorkloadTrace::from_csv(csv),
+            Err(TraceParseError::ArrivalBeyondDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn csv_truncated_mid_line_is_an_error() {
+        // A download cut off mid-number: the partial final line must not
+        // silently parse as a shorter trace.
+        let csv = "# name=cut,duration_us=10000000\narrival_us\n1000\n20.";
+        assert!(matches!(
+            WorkloadTrace::from_csv(csv),
+            Err(TraceParseError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn csv_header_only_is_an_empty_trace() {
+        let tr = WorkloadTrace::from_csv("# name=none,duration_us=5000000\narrival_us\n").unwrap();
+        assert!(tr.is_empty());
+        assert_eq!(tr.name(), "none");
     }
 
     #[test]

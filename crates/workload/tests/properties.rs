@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use slsb_sim::{Seed, SimDuration, SimTime};
 use slsb_workload::{
-    merge, split_round_robin, InputKind, MmppSpec, PoissonProcess, RequestPool, WorkloadTrace,
+    merge, split_round_robin, AppProcess, AppStream, FleetSynthesis, InputKind, MmppPreset,
+    MmppSpec, PoissonProcess, RequestPool, WorkloadTrace,
 };
 
 fn spec(rate_high: f64, rate_low: f64, secs: u64) -> MmppSpec {
@@ -101,6 +102,88 @@ proptest! {
         let series = tr.rate_series(SimDuration::from_secs(bucket_s));
         let total: u64 = series.iter().map(|&(_, c)| c).sum();
         prop_assert_eq!(total as usize, tr.len());
+    }
+
+    /// The streaming generator is byte-identical to the materialized path
+    /// for all three paper presets and arbitrary seeds — the contract that
+    /// lets the fleet engine pull arrivals lazily without changing any
+    /// published number.
+    #[test]
+    fn mmpp_stream_matches_materialized(seed in 0u64..5000) {
+        for p in MmppPreset::ALL {
+            let spec = p.spec();
+            let eager = spec.generate(Seed(seed));
+            let lazy: Vec<SimTime> = spec.stream(Seed(seed)).collect();
+            prop_assert_eq!(eager.arrivals(), &lazy[..]);
+        }
+    }
+
+    /// Same contract for arbitrary (non-preset) MMPP parameters.
+    #[test]
+    fn mmpp_stream_matches_for_any_spec(
+        rate_high in 0.0f64..200.0,
+        low_frac in 0.0f64..1.0,
+        secs in 5u64..400,
+        seed in 0u64..1000,
+    ) {
+        let s = spec(rate_high, rate_high * low_frac, secs);
+        let eager = s.generate(Seed(seed));
+        let lazy: Vec<SimTime> = s.stream(Seed(seed)).collect();
+        prop_assert_eq!(eager.arrivals(), &lazy[..]);
+    }
+
+    /// Bucket replay reproduces an ingested trace's per-bucket counts
+    /// exactly, for any counts and any seed.
+    #[test]
+    fn fleet_bucket_replay_exact(
+        counts in prop::collection::vec(0u32..50, 1..20),
+        seed in 0u64..500,
+    ) {
+        let bucket = SimDuration::from_secs(30);
+        let duration = SimDuration::from_micros(bucket.as_micros() * counts.len() as u64);
+        let process = AppProcess::Buckets { bucket, counts: counts.clone() };
+        let arrivals: Vec<SimTime> =
+            AppStream::new(&process, duration, Seed(seed).substream("app")).collect();
+        prop_assert_eq!(arrivals.len() as u64, counts.iter().map(|&c| c as u64).sum::<u64>());
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let mut got = vec![0u32; counts.len()];
+        for t in &arrivals {
+            let idx = ((t.as_micros() / bucket.as_micros()) as usize).min(counts.len() - 1);
+            got[idx] += 1;
+        }
+        prop_assert_eq!(got, counts);
+    }
+
+    /// The fleet k-way merge is sorted, bounded, complete (every app's solo
+    /// sequence appears verbatim), and deterministic per seed.
+    #[test]
+    fn fleet_merge_is_sorted_and_partition_invariant(seed in 0u64..200, apps in 1u32..24) {
+        let fleet = FleetSynthesis {
+            apps,
+            zipf_exponent: 1.1,
+            total_rate: 30.0,
+            mean_busy_s: 8.0,
+            median_idle_s: 15.0,
+            idle_sigma: 1.5,
+            duration_s: 120.0,
+        }
+        .build("prop-fleet", &["p".to_string()])
+        .unwrap();
+        let merged: Vec<(SimTime, u32)> = fleet.arrival_stream(Seed(seed)).collect();
+        prop_assert!(merged.windows(2).all(|w| w[0].0 <= w[1].0));
+        let end = SimTime::ZERO + fleet.duration;
+        prop_assert!(merged.iter().all(|&(t, _)| t <= end));
+        let pick = seed as u32 % apps;
+        let alone: Vec<SimTime> = fleet
+            .arrival_stream_for(Seed(seed), [pick])
+            .map(|(t, _)| t)
+            .collect();
+        let filtered: Vec<SimTime> = merged
+            .iter()
+            .filter(|&&(_, a)| a == pick)
+            .map(|&(t, _)| t)
+            .collect();
+        prop_assert_eq!(alone, filtered);
     }
 
     /// Request pool picks are always members of the pool and payload sizes

