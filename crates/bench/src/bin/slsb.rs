@@ -20,13 +20,13 @@ use slsb_bench::cli::extract_log_level;
 use slsb_bench::perf;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fleet_metrics, fmt_money, fmt_opt_secs, fmt_pct,
-    replicate_jobs, run_metrics, slo_metrics, slo_samples, Deployment, Executor, ExplorerGrid,
-    FleetRunner, FleetScenario, Jobs, RetryPolicy, Scenario, SloSample, SloSpec, Table,
-    WorkloadSpec,
+    oracle_bound, replicate_jobs, run_metrics, slo_metrics, slo_samples, trace_oracle, Deployment,
+    Executor, ExplorerGrid, FleetRunner, FleetScenario, Jobs, RetryPolicy, Scenario, SloSample,
+    SloSpec, Table, WorkloadSpec,
 };
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_obs::{set_log_level, trace_view, JsonlRecorder, Profile};
-use slsb_platform::{FaultPlan, PlatformKind};
+use slsb_platform::{FaultPlan, PlatformKind, PolicySet};
 use slsb_sim::Seed;
 use slsb_workload::{MmppPreset, TraceSummary};
 use std::process::ExitCode;
@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   slsb compare   --model <mobilenet|albert|vgg> --workload <w40|w120|w200> [--runtime <tf|ort>] [--seed N] [--scale F]
   slsb explore   --model <...> --workload <...> [--slo SECS] [--seed N] [--scale F] [--jobs N]
   slsb replicate --platform <name> --model <...> --workload <...> [--runtime <tf|ort>] [--reps N] [--seed N] [--scale F] [--jobs N] [--shards N]
-  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--slo SPEC] [--seed N] [--shards N] [--jobs N] [--profile FILE] [--metrics-out FILE] [--fleet] [--scale F]
+  slsb run       <scenario.json> [--trace FILE] [--faults FILE] [--retry SPEC] [--slo SPEC] [--seed N] [--shards N] [--jobs N] [--profile FILE] [--metrics-out FILE] [--fleet] [--scale F] [--policy NAME]
   slsb fleet     ingest <raw.(json|csv)> [--out FILE]
   slsb trace     <trace.jsonl> [--slo SPEC] [--apps N]
   slsb profile   <profile.json> [--top N] [--collapsed]
@@ -67,7 +67,11 @@ p50=S p99=S sr=F cost1k=D, optionally per-tenant with key@client, e.g.
 'p99=0.5,sr=0.99,p99@2=1.0'); --profile FILE enables the deterministic
 self-profiler and writes the region tree as JSON (trace bytes are
 unaffected); --metrics-out FILE writes the run's metrics registry as a
-stable-ordered JSON snapshot.
+stable-ordered JSON snapshot; --policy NAME overrides the scenario's
+keep-alive/placement/scaling policy set (zoo: default fixed
+hybrid_histogram least_loaded no_overprovision); every run also prints
+the clairvoyant oracle's cold-start and cost lower bounds with a
+%-of-optimal score.
 run on a scenario with a top-level \"fleet\" block (or with --fleet)
 replays a multi-tenant fleet: every app gets its own platform and RNG
 substreams, arrivals stream through a lazy k-way merge (memory stays
@@ -365,6 +369,7 @@ struct RunOptions {
     metrics_out: Option<String>,
     fleet: bool,
     scale: Option<f64>,
+    policy: Option<PolicySet>,
 }
 
 /// Removes `flag VALUE` from `args` wherever it appears, returning the
@@ -414,6 +419,16 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunOptions), String> {
                 _ => Err(format!("bad scale {v:?} (must be > 0)")),
             })
             .transpose()?,
+        policy: take_flag(&mut args, "--policy")?
+            .map(|v| {
+                PolicySet::by_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown policy {v:?} (known policies: {})",
+                        PolicySet::ZOO.join(", ")
+                    )
+                })
+            })
+            .transpose()?,
     };
     match args.as_slice() {
         [path] => Ok((path.clone(), o)),
@@ -456,6 +471,9 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     if let Some(shards) = opts.shards {
         scenario.executor.shards = shards;
     }
+    if let Some(policy) = opts.policy {
+        scenario.policy = Some(policy);
+    }
     // The profiler is enabled only when a sink was requested: the disabled
     // path is one relaxed atomic load per guard, and trace bytes are
     // identical either way.
@@ -491,6 +509,15 @@ fn cmd_run(path: &str, opts: &RunOptions) -> Result<(), String> {
     println!("success ratio : {}", fmt_pct(a.success_ratio));
     println!("mean latency  : {}", fmt_opt_secs(a.mean_latency()));
     println!("cost          : {}", fmt_money(a.cost.total()));
+    println!("cold starts   : {}", a.cold_started);
+    let oracle = oracle_bound(&run);
+    println!(
+        "oracle        : cold >= {} ({:.0}% of optimal), cost >= ${:.6} ({:.0}% of optimal)",
+        oracle.cold_starts,
+        oracle.cold_score(a.cold_started),
+        oracle.cost_dollars,
+        oracle.cost_score(a.cost.total().as_dollars()),
+    );
     println!("plat. faults  : {}", a.faults);
     println!("client faults : {}", a.client_faults);
     println!("retries       : {}", a.retries);
@@ -562,6 +589,9 @@ fn cmd_run_fleet(path: &str, json: &str, opts: &RunOptions) -> Result<(), String
     if let Some(f) = opts.scale {
         scenario.scale_duration(f).map_err(|e| e.to_string())?;
     }
+    if let Some(policy) = opts.policy {
+        scenario.policy = Some(policy);
+    }
     // Trace documents resolve relative to the scenario file, so a scenario
     // directory stays relocatable.
     let trace_json = match scenario.trace_path() {
@@ -581,6 +611,9 @@ fn cmd_run_fleet(path: &str, json: &str, opts: &RunOptions) -> Result<(), String
     let plan = scenario
         .resolve(trace_json.as_deref())
         .map_err(|e| e.to_string())?;
+    for w in &plan.warnings {
+        eprintln!("warning: {w}");
+    }
     let workers = opts.jobs.unwrap_or(1).max(opts.shards.unwrap_or(1));
     let runner = FleetRunner::default().with_workers(workers);
     let seed = Seed(scenario.seed);
@@ -796,6 +829,16 @@ fn cmd_trace(path: &str, slo: Option<&str>, apps: Option<usize>) -> Result<(), S
     println!("{}", trace_view::summary(&events));
     println!("{}", trace_view::phase_attribution(&events));
     println!("{}", trace_view::cold_start_breakdown(&events));
+    if let Some(t) = trace_oracle(&events) {
+        println!(
+            "oracle        : cold-start floor {} vs {} observed ({:.0}% of optimal, \
+             peak concurrency {})\n",
+            t.cold_floor,
+            t.cold_observed,
+            t.score(),
+            t.instance_floor,
+        );
+    }
     println!("{}", trace_view::fault_attribution(&events));
     println!("{}", trace_view::waterfall(&events, 20));
     println!("{}", trace_view::instance_timeline(&events, 20));
@@ -1023,6 +1066,27 @@ mod tests {
         assert_eq!(o.retry.as_deref(), Some("attempts=3"));
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.shards, Some(4));
+    }
+
+    #[test]
+    fn run_args_accept_every_zoo_policy() {
+        for name in PolicySet::ZOO {
+            let (path, o) =
+                parse_run_args(&strs(&["scenario.json", "--policy", name])).unwrap();
+            assert_eq!(path, "scenario.json");
+            assert_eq!(o.policy, PolicySet::by_name(name), "policy {name}");
+            assert!(o.policy.is_some(), "zoo name {name} must resolve");
+        }
+    }
+
+    #[test]
+    fn run_args_reject_unknown_policy_and_list_the_zoo() {
+        let err = parse_run_args(&strs(&["scenario.json", "--policy", "nope"]))
+            .expect_err("unknown policy must be rejected");
+        assert!(err.contains("unknown policy"), "{err}");
+        for name in PolicySet::ZOO {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
     }
 
     #[test]

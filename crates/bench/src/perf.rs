@@ -401,6 +401,7 @@ fn fleet_end_to_end(cfg: &BenchConfig) -> Result<FleetBench, String> {
         },
         profiles,
         timeout_s: 60.0,
+        policy: None,
     };
     let plan = scenario.resolve(None).map_err(|e| e.to_string())?;
     let runner = FleetRunner::default();

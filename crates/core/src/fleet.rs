@@ -32,6 +32,7 @@
 use crate::plan::{Deployment, PlanError};
 use crate::runner::{parallel_map, Jobs};
 use serde::{Deserialize, Serialize};
+use slsb_platform::PolicySet;
 use slsb_obs::{
     EventKind, LogLinearHistogram, MemoryRecorder, MetricsRegistry, Recorder, SpanOutcome,
     TraceEvent,
@@ -98,6 +99,38 @@ pub struct FleetScenario {
     /// Per-request client timeout, seconds.
     #[serde(default = "FleetScenario::default_timeout_s")]
     pub timeout_s: f64,
+    /// Fleet-wide policy override. When set, every app runs under this
+    /// policy set regardless of what its profile says; when absent, each
+    /// profile's own `policy` applies (and profiles that do not pin one
+    /// raise a [`FleetWarning::ProfileWithoutPolicy`], because a fleet
+    /// comparison where some apps silently ride platform defaults is
+    /// usually a mis-specified experiment).
+    #[serde(default)]
+    pub policy: Option<PolicySet>,
+}
+
+/// A non-fatal diagnostic raised while resolving a fleet scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetWarning {
+    /// A deployment profile pins no policy and no fleet-wide override is
+    /// set: its apps will run whatever the platform's defaults are.
+    ProfileWithoutPolicy {
+        /// The policy-less profile's name.
+        profile: String,
+    },
+}
+
+impl fmt::Display for FleetWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetWarning::ProfileWithoutPolicy { profile } => write!(
+                f,
+                "profile {profile} pins no policy; its apps run platform \
+                 defaults (set a profile policy block or a fleet-wide \
+                 \"policy\" to silence this)"
+            ),
+        }
+    }
 }
 
 /// Why a fleet scenario failed to load or resolve.
@@ -163,6 +196,9 @@ pub struct FleetPlan {
     pub deployments: Vec<Deployment>,
     /// Per-request client timeout.
     pub timeout: SimDuration,
+    /// Non-fatal diagnostics raised during resolution (e.g. a profile
+    /// with no policy block). The CLI prints these to stderr.
+    pub warnings: Vec<FleetWarning>,
 }
 
 impl FleetScenario {
@@ -219,7 +255,7 @@ impl FleetScenario {
         if self.profiles.is_empty() {
             return Err(FleetScenarioError::NoProfiles);
         }
-        let (spec, deployments) = match &self.fleet {
+        let (spec, mut deployments) = match &self.fleet {
             FleetSource::Synth {
                 apps,
                 zipf_exponent,
@@ -271,6 +307,20 @@ impl FleetScenario {
                 (summary.to_fleet_spec()?, deployments)
             }
         };
+        let warnings = if let Some(policy) = self.policy {
+            for dep in &mut deployments {
+                dep.policy = Some(policy);
+            }
+            Vec::new()
+        } else {
+            self.profiles
+                .iter()
+                .filter(|(_, dep)| dep.policy.is_none())
+                .map(|(name, _)| FleetWarning::ProfileWithoutPolicy {
+                    profile: name.clone(),
+                })
+                .collect()
+        };
         for dep in &deployments {
             dep.validate()?;
         }
@@ -278,6 +328,7 @@ impl FleetScenario {
             spec,
             deployments,
             timeout: SimDuration::from_secs_f64(self.timeout_s),
+            warnings,
         })
     }
 }
@@ -953,6 +1004,7 @@ mod tests {
             },
             profiles,
             timeout_s: 60.0,
+            policy: None,
         }
     }
 
@@ -1066,12 +1118,61 @@ mod tests {
             },
             profiles,
             timeout_s: 60.0,
+            policy: None,
         };
         let plan = sc.resolve(Some(&summary.to_json())).expect("resolve");
         assert_eq!(plan.deployments[0].memory_mb, 3072.0);
         assert!(plan.deployments[0].extra_download_mb >= 25.0);
         let run = FleetRunner::default().run(&plan, Seed(1)).expect("run");
         assert_eq!(run.requests, 4, "bucket replay is exact");
+    }
+
+    #[test]
+    fn policy_less_profiles_warn_and_fleet_policy_silences() {
+        let sc = scenario(8, 10.0, 60.0);
+        let plan = sc.resolve(None).expect("resolve");
+        // Both profiles ("bulk", "edge") pin no policy → one warning each,
+        // in sorted profile order.
+        assert_eq!(
+            plan.warnings,
+            vec![
+                FleetWarning::ProfileWithoutPolicy {
+                    profile: "bulk".into()
+                },
+                FleetWarning::ProfileWithoutPolicy {
+                    profile: "edge".into()
+                },
+            ]
+        );
+        assert!(plan.warnings[0].to_string().contains("bulk"));
+
+        // A fleet-wide policy silences the warning and lands on every app.
+        let mut pinned = sc.clone();
+        pinned.policy = PolicySet::by_name("hybrid_histogram");
+        assert!(pinned.policy.is_some());
+        let plan = pinned.resolve(None).expect("resolve");
+        assert!(plan.warnings.is_empty());
+        assert!(plan
+            .deployments
+            .iter()
+            .all(|d| d.policy == pinned.policy));
+
+        // A profile-level policy also silences its own warning.
+        let mut per_profile = sc.clone();
+        for dep in per_profile.profiles.values_mut() {
+            dep.policy = Some(PolicySet::default());
+        }
+        let plan = per_profile.resolve(None).expect("resolve");
+        assert!(plan.warnings.is_empty());
+    }
+
+    #[test]
+    fn fleet_policy_roundtrips_through_json() {
+        let mut sc = scenario(4, 5.0, 30.0);
+        sc.policy = PolicySet::by_name("fixed");
+        let parsed = FleetScenario::from_json(&sc.to_json()).expect("roundtrip");
+        assert_eq!(parsed, sc);
+        assert_eq!(parsed.policy, sc.policy);
     }
 
     #[test]
@@ -1086,6 +1187,7 @@ mod tests {
             },
             profiles,
             timeout_s: 60.0,
+            policy: None,
         };
         assert!(matches!(
             sc.resolve(None),

@@ -17,6 +17,8 @@
 //!   implemented as a configuration sweep with Pareto/SLO selection;
 //! - [`experiment`] — the registry mapping every table and figure to a
 //!   reproduction id;
+//! - [`oracle`] — clairvoyant cold-start / cost lower bounds, reported
+//!   beside every run so policies score as a "% of optimal";
 //! - [`scenario`] — JSON-declarative experiments (save, share, replay);
 //! - [`replication`] — n-seed replication with mean ± std aggregation;
 //! - [`runner`] — the parallel run harness: a std-only work-stealing pool
@@ -48,6 +50,7 @@ pub mod executor;
 pub mod experiment;
 pub mod fleet;
 pub mod explorer;
+pub mod oracle;
 pub mod plan;
 pub mod replication;
 pub mod report;
@@ -64,9 +67,10 @@ pub use executor::{Executor, ExecutorConfig, RequestRecord, RetryPolicy, RunResu
 pub use experiment::ExperimentId;
 pub use fleet::{
     fleet_metrics, AppResult, FleetPlan, FleetRunResult, FleetRunner, FleetScenario,
-    FleetScenarioError, FleetSource, FLEET_CELLS,
+    FleetScenarioError, FleetSource, FleetWarning, FLEET_CELLS,
 };
 pub use explorer::{explore, explore_jobs, Candidate, Exploration, ExplorerGrid};
+pub use oracle::{oracle_bound, trace_oracle, OracleBound, TraceOracle};
 pub use plan::{Deployment, PlanError};
 pub use replication::{replicate, replicate_jobs, MetricSummary, Replication};
 pub use report::{ascii_chart, fmt_money, fmt_opt_secs, fmt_pct, fmt_secs, Table};

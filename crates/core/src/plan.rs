@@ -10,7 +10,8 @@
 use serde::{Deserialize, Serialize};
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_platform::{
-    ManagedMlConfig, Platform, PlatformKind, ServerlessConfig, VmServerConfig, LAMBDA_TMP_LIMIT_MB,
+    ManagedMlConfig, Platform, PlatformKind, PolicySet, ServerlessConfig, VmServerConfig,
+    LAMBDA_TMP_LIMIT_MB,
 };
 use slsb_sim::Seed;
 use std::fmt;
@@ -40,6 +41,10 @@ pub struct Deployment {
     pub samples_per_request: u32,
     /// Inference executions per request (Figure 12d).
     pub inference_repeats: u32,
+    /// Keep-alive / placement / scaling policy overrides; `None` keeps the
+    /// platform defaults (the paper's behavior).
+    #[serde(default)]
+    pub policy: Option<PolicySet>,
 }
 
 impl Deployment {
@@ -56,7 +61,14 @@ impl Deployment {
             extra_download_mb: 0.0,
             samples_per_request: 1,
             inference_repeats: 1,
+            policy: None,
         }
+    }
+
+    /// Fluent setter for [`Deployment::policy`].
+    pub fn with_policy(mut self, policy: PolicySet) -> Deployment {
+        self.policy = Some(policy);
+        self
     }
 
     /// Fluent setter for [`Deployment::memory_mb`].
@@ -135,6 +147,7 @@ impl Deployment {
         let m = self.model.profile();
         let r = self.runtime.profile();
         let provider = self.platform.provider();
+        let policy = self.policy.unwrap_or_default();
         Ok(match self.platform {
             PlatformKind::AwsServerless | PlatformKind::GcpServerless => {
                 let mut cfg = ServerlessConfig::new(provider, m, r);
@@ -143,16 +156,23 @@ impl Deployment {
                 cfg.bake_model_in_image = self.model_baked_in_image();
                 cfg.extra_container_mb = self.extra_container_mb;
                 cfg.extra_download_mb = self.extra_download_mb;
+                cfg.policy = policy;
                 Platform::serverless(cfg, seed)
             }
             PlatformKind::AwsManagedMl | PlatformKind::GcpManagedMl => {
-                Platform::managedml(ManagedMlConfig::new(provider, m, r), seed)
+                let mut cfg = ManagedMlConfig::new(provider, m, r);
+                cfg.policy = policy;
+                Platform::managedml(cfg, seed)
             }
             PlatformKind::AwsCpu | PlatformKind::GcpCpu => {
-                Platform::vm(VmServerConfig::cpu(provider, m, r), seed)
+                let mut cfg = VmServerConfig::cpu(provider, m, r);
+                cfg.policy = policy;
+                Platform::vm(cfg, seed)
             }
             PlatformKind::AwsGpu | PlatformKind::GcpGpu => {
-                Platform::vm(VmServerConfig::gpu(provider, m, r), seed)
+                let mut cfg = VmServerConfig::gpu(provider, m, r);
+                cfg.policy = policy;
+                Platform::vm(cfg, seed)
             }
         })
     }

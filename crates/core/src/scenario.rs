@@ -9,7 +9,7 @@ use crate::executor::{Executor, ExecutorConfig, RunResult};
 use crate::plan::{Deployment, PlanError};
 use serde::{Deserialize, Serialize};
 use crate::slo::SloSpec;
-use slsb_platform::{FaultPlan, FaultPlanError};
+use slsb_platform::{FaultPlan, FaultPlanError, PolicySet};
 use slsb_sim::{ProfGuard, Seed, SimDuration, SimTime};
 use slsb_workload::{
     DiurnalSpec, FlashCrowdSpec, MmppPreset, MmppSpec, PoissonProcess, WorkloadTrace,
@@ -158,6 +158,11 @@ pub struct Scenario {
     /// evaluates nothing; purely observational either way).
     #[serde(default = "SloSpec::default")]
     pub slo: SloSpec,
+    /// Scenario-level policy override. When set it wins over
+    /// [`Deployment::policy`]; when absent the deployment decides (and an
+    /// unset deployment keeps the platform defaults).
+    #[serde(default)]
+    pub policy: Option<PolicySet>,
 }
 
 /// Why a scenario failed to load or run.
@@ -193,6 +198,15 @@ impl From<PlanError> for ScenarioError {
 }
 
 impl Scenario {
+    /// The deployment with the scenario-level policy override applied.
+    fn effective_deployment(&self) -> Deployment {
+        let mut dep = self.deployment;
+        if self.policy.is_some() {
+            dep.policy = self.policy;
+        }
+        dep
+    }
+
     /// Parses a scenario from JSON.
     ///
     /// # Errors
@@ -217,7 +231,7 @@ impl Scenario {
         let trace = self.workload.generate(seed.substream("scenario-workload"));
         let run = Executor::new(self.executor)
             .with_faults(self.faults.clone())
-            .run(&self.deployment, &trace, seed)?;
+            .run(&self.effective_deployment(), &trace, seed)?;
         let analysis = analyze(&run);
         Ok((run, analysis))
     }
@@ -237,7 +251,7 @@ impl Scenario {
         let trace = self.workload.generate(seed.substream("scenario-workload"));
         let run = Executor::new(self.executor)
             .with_faults(self.faults.clone())
-            .run_recorded(&self.deployment, &trace, seed, rec)?;
+            .run_recorded(&self.effective_deployment(), &trace, seed, rec)?;
         let analysis = analyze(&run);
         Ok((run, analysis))
     }
@@ -268,6 +282,7 @@ mod tests {
             executor: ExecutorConfig::default(),
             faults: FaultPlan::none(),
             slo: SloSpec::default(),
+            policy: None,
         }
     }
 
@@ -336,6 +351,42 @@ mod tests {
         );
         let err = s.run().unwrap_err();
         assert!(matches!(err, ScenarioError::Plan(_)));
+    }
+
+    #[test]
+    fn policy_block_overrides_deployment() {
+        let mut s = sample();
+        s.policy = PolicySet::by_name("fixed");
+        assert_eq!(
+            s.effective_deployment().policy,
+            PolicySet::by_name("fixed")
+        );
+        // Absent scenario policy defers to the deployment's.
+        let mut d = sample();
+        d.deployment = d.deployment.with_policy(PolicySet::by_name("least_loaded").unwrap());
+        assert_eq!(
+            d.effective_deployment().policy,
+            PolicySet::by_name("least_loaded")
+        );
+        // Roundtrip keeps the block.
+        let parsed = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn malformed_policy_block_is_a_parse_error() {
+        let mut json = sample().to_json();
+        json = json.replace(
+            "\"policy\": null",
+            "\"policy\": {\"keep_alive\": {\"kind\": \"no_such_policy\"}}",
+        );
+        assert!(json.contains("no_such_policy"), "replacement must apply");
+        let err = Scenario::from_json(&json).unwrap_err();
+        assert!(matches!(err, ScenarioError::Parse(_)));
+        assert!(
+            err.to_string().contains("no_such_policy"),
+            "diagnostic must name the unknown policy: {err}"
+        );
     }
 
     #[test]

@@ -4,11 +4,14 @@
 
 use proptest::prelude::*;
 use slsb_core::{
-    analyze, Analysis, BatchPolicy, Deployment, Executor, ExecutorConfig, RetryPolicy,
+    analyze, oracle_bound, Analysis, BatchPolicy, Deployment, Executor, ExecutorConfig,
+    RetryPolicy,
 };
 use slsb_model::{ModelKind, RuntimeKind};
-use slsb_platform::{FaultPlan, PlatformKind};
-use slsb_sim::{Seed, SimDuration};
+use slsb_platform::{
+    FaultPlan, KeepAlivePolicy, PlatformKind, PolicySet, ScalingPolicy,
+};
+use slsb_sim::{Seed, SimDuration, SimTime};
 use slsb_workload::{MmppSpec, WorkloadTrace};
 
 fn any_platform() -> impl Strategy<Value = PlatformKind> {
@@ -292,5 +295,99 @@ proptest! {
             serde_json::to_string(&pa).unwrap(),
             serde_json::to_string(&ra).unwrap()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The clairvoyant oracle is a true lower bound for **every** zoo
+    /// member on **every** trace: no policy ever beats it on cold starts
+    /// or cost, and the conservation invariants keep holding under
+    /// non-default policies.
+    #[test]
+    fn oracle_bounds_every_zoo_member(
+        name in prop::sample::select(PolicySet::ZOO.to_vec()),
+        platform in any_platform(),
+        rate in 5.0f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let policy = PolicySet::by_name(name).expect("zoo name resolves");
+        let trace = small_trace(rate, 60, seed);
+        let dep = Deployment::new(platform, ModelKind::MobileNet, RuntimeKind::Tf115)
+            .with_policy(policy);
+        let run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
+        let a = analyze(&run);
+        prop_assert_eq!(resolved(&a), a.total);
+        let b = oracle_bound(&run);
+        prop_assert!(
+            b.cold_starts <= run.platform.cold_started,
+            "policy {} on {:?}: oracle cold {} > actual {}",
+            name, platform, b.cold_starts, run.platform.cold_started
+        );
+        let actual_cost = run.platform.cost.total().as_dollars();
+        prop_assert!(
+            b.cost_dollars <= actual_cost + 1e-9,
+            "policy {} on {:?}: oracle cost {} > actual {}",
+            name, platform, b.cost_dollars, actual_cost
+        );
+        prop_assert!((0.0..=1.0).contains(&b.warm_ratio));
+    }
+
+    /// An infinite fixed keep-alive (with speculative scaling off)
+    /// degenerates to first-touch-only cold starts on a strictly
+    /// sequential trace: one cold pipeline, every later request warm. The
+    /// platform default re-colds on every arrival because the idle gaps
+    /// exceed its window — and the oracle's floor of one bounds both.
+    #[test]
+    fn infinite_keep_alive_is_first_touch_cold_only(
+        requests in 3usize..9,
+        seed in 0u64..200,
+    ) {
+        // Gaps of 1200 s dwarf both platform defaults (600 s AWS, 900 s
+        // GCP) and leave zero execution overlap.
+        let gap = 1200u64;
+        let arrivals: Vec<SimTime> = (0..requests)
+            .map(|k| SimTime::ZERO + SimDuration::from_secs(k as u64 * gap))
+            .collect();
+        let trace = WorkloadTrace::new(
+            "sparse",
+            SimDuration::from_secs(requests as u64 * gap),
+            arrivals,
+        );
+        let forever = PolicySet {
+            keep_alive: KeepAlivePolicy::Fixed { idle_s: 1e12 },
+            scaling: ScalingPolicy::NoOverprovision,
+            ..PolicySet::default()
+        };
+        let dep = Deployment::new(
+            PlatformKind::AwsServerless,
+            ModelKind::MobileNet,
+            RuntimeKind::Ort14,
+        );
+        let warm_run = Executor::default()
+            .run(&dep.with_policy(forever), &trace, Seed(seed))
+            .unwrap();
+        prop_assert_eq!(warm_run.platform.cold_started, 1, "one cold pipeline total");
+        let mut by_arrival: Vec<_> = warm_run.records.iter().collect();
+        by_arrival.sort_by_key(|r| r.arrival);
+        prop_assert!(by_arrival[0].cold_start.is_some(), "first touch pays the cold start");
+        for r in &by_arrival[1..] {
+            prop_assert!(r.cold_start.is_none(), "request at {:?} re-cold", r.arrival);
+        }
+
+        // The platform default forgets the instance between arrivals.
+        let cold_run = Executor::default().run(&dep, &trace, Seed(seed)).unwrap();
+        prop_assert!(
+            cold_run.platform.cold_started >= requests as u64,
+            "default keep-alive must re-cold every sparse arrival: {} < {}",
+            cold_run.platform.cold_started,
+            requests
+        );
+
+        // Oracle floor: sequential execution needs exactly one instance.
+        let b = oracle_bound(&warm_run);
+        prop_assert_eq!(b.cold_starts, 1);
+        prop_assert!(b.cold_starts <= cold_run.platform.cold_started);
     }
 }

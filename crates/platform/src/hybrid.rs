@@ -34,6 +34,18 @@ pub struct HybridConfig {
     pub policy: SpilloverPolicy,
 }
 
+impl HybridConfig {
+    /// Installs one [`crate::policy::PolicySet`] on both children — the
+    /// hybrid has no policy machinery of its own beyond the spillover rule;
+    /// keep-alive, placement, and scaling live in the VM and serverless
+    /// halves it composes.
+    pub fn with_policy_set(mut self, policy: crate::policy::PolicySet) -> Self {
+        self.vm.policy = policy;
+        self.serverless.policy = policy;
+        self
+    }
+}
+
 /// The composed platform.
 pub struct HybridPlatform {
     cfg: HybridConfig,

@@ -55,6 +55,7 @@ pub mod hybrid;
 pub mod idmap;
 pub mod managedml;
 pub mod network;
+pub mod policy;
 pub mod presets;
 pub mod provider;
 pub mod request;
@@ -69,6 +70,7 @@ pub use hybrid::{HybridConfig, HybridPlatform, SpilloverPolicy};
 pub use idmap::IdMap;
 pub use managedml::{ManagedMlConfig, ManagedMlParams, ManagedMlPlatform};
 pub use network::NetworkProfile;
+pub use policy::{KeepAlivePolicy, KeepAliveTracker, PlacementPolicy, PolicySet, ScalingPolicy};
 pub use presets::{PlatformKind, LAMBDA_TMP_LIMIT_MB};
 pub use provider::CloudProvider;
 pub use request::{

@@ -19,6 +19,7 @@ use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::idmap::IdMap;
+use crate::policy::{KeepAliveTracker, PlacementPolicy, PolicySet};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
@@ -145,6 +146,11 @@ pub struct ManagedMlConfig {
     /// The serving runtime (the paper restricts ManagedML to TF1.15; the
     /// planner in `slsb-core` enforces that rule).
     pub runtime: RuntimeProfile,
+    /// Keep-alive / placement / scaling policies. The keep-alive window
+    /// maps onto the scale-in cooldown here (the endpoint's analogue of
+    /// reclaiming idle capacity); scaling policies other than the default
+    /// are ignored — the target-tracking scaler *is* this platform.
+    pub policy: PolicySet,
 }
 
 impl ManagedMlConfig {
@@ -154,6 +160,7 @@ impl ManagedMlConfig {
             params: ManagedMlParams::for_provider(provider),
             model,
             runtime,
+            policy: PolicySet::default(),
         }
     }
 
@@ -178,12 +185,16 @@ pub enum ManagedMlEvent {
 #[derive(Debug, Clone, Copy)]
 struct MmlInstance {
     busy: bool,
+    /// Requests this instance has served (least-loaded placement key).
+    served: u64,
 }
 
 /// The simulated managed-ML endpoint.
 pub struct ManagedMlPlatform {
     cfg: ManagedMlConfig,
     rng: SimRng,
+    /// Keep-alive policy state (inter-arrival histogram when adaptive).
+    keep_alive: KeepAliveTracker,
     ready: IdMap<MmlInstance>,
     provisioning: IdMap<SimTime>,
     queue: VecDeque<(ServingRequest, SimTime)>,
@@ -207,6 +218,7 @@ impl ManagedMlPlatform {
         let meter = InstanceMeter::new(cfg.params.pricing);
         ManagedMlPlatform {
             rng: seed.substream("managedml").rng(),
+            keep_alive: KeepAliveTracker::new(cfg.policy.keep_alive),
             cfg,
             ready: IdMap::new(),
             provisioning: IdMap::new(),
@@ -258,7 +270,7 @@ impl ManagedMlPlatform {
         for _ in 0..self.cfg.params.min_instances.max(1) {
             let id = self.alloc_id();
             self.meter.open(id, sched.now());
-            self.ready.insert(id, MmlInstance { busy: false });
+            self.ready.insert(id, MmlInstance { busy: false, served: 0 });
             self.gauge.record_delta(sched.now(), 1);
             sched.emit(|| EventKind::InstanceSpawn {
                 component: COMPONENT,
@@ -290,6 +302,7 @@ impl ManagedMlPlatform {
             component: COMPONENT,
             request: req.id.0,
         });
+        self.keep_alive.observe_arrival(sched.now());
         self.window_arrivals += 1;
         if let Some(kind) = self.faults.admit(sched.now()) {
             sched.emit(|| EventKind::Fault {
@@ -340,7 +353,7 @@ impl ManagedMlPlatform {
         match ev {
             ManagedMlEvent::InstanceUp(id) => {
                 if let Some(_ready_at) = self.provisioning.remove(id) {
-                    self.ready.insert(id, MmlInstance { busy: false });
+                    self.ready.insert(id, MmlInstance { busy: false, served: 0 });
                     self.gauge.record_delta(sched.now(), 1);
                     sched.emit(|| EventKind::InstanceWarm {
                         component: COMPONENT,
@@ -359,9 +372,22 @@ impl ManagedMlPlatform {
         }
     }
 
+    /// The free instance the placement policy routes the next request to.
+    fn pick_free(&self) -> Option<u64> {
+        match self.cfg.policy.placement {
+            PlacementPolicy::Mru => self.ready.iter().find(|(_, i)| !i.busy).map(|(id, _)| id),
+            PlacementPolicy::LeastLoaded => self
+                .ready
+                .iter()
+                .filter(|(_, i)| !i.busy)
+                .min_by_key(|&(id, i)| (i.served, id))
+                .map(|(id, _)| id),
+        }
+    }
+
     fn dispatch(&mut self, sched: &mut PlatformScheduler<'_>) {
         while !self.queue.is_empty() {
-            let Some((id, _)) = self.ready.iter().find(|(_, i)| !i.busy) else {
+            let Some(id) = self.pick_free() else {
                 return;
             };
             let (req, enqueued) = self.queue.pop_front().expect("queue non-empty");
@@ -372,7 +398,9 @@ impl ManagedMlPlatform {
             );
             let service = self.cfg.params.request_overhead + predict;
             self.busy_seconds += service.as_secs_f64();
-            self.ready.get_mut(id).expect("instance exists").busy = true;
+            let inst = self.ready.get_mut(id).expect("instance exists");
+            inst.busy = true;
+            inst.served += 1;
             let done_at = sched.now() + service;
             // A mid-execution crash on a managed endpoint fails the request
             // but not the instance: the provider's health check restarts the
@@ -461,7 +489,10 @@ impl ManagedMlPlatform {
             }
             self.last_scale_out = sched.now();
         } else if desired < self.ready.len() as u32
-            && sched.now().saturating_duration_since(self.last_scale_out) >= p.scale_in_cooldown
+            // The keep-alive policy maps onto the scale-in cooldown: how
+            // long recently-needed capacity lingers before retirement.
+            && sched.now().saturating_duration_since(self.last_scale_out)
+                >= self.keep_alive.window(p.scale_in_cooldown)
             && self.ready.len() as u32 > p.min_instances
         {
             // Retire one idle instance per tick.

@@ -26,6 +26,7 @@ use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, ServerlessMeter, ServerlessPricing};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::idmap::IdMap;
+use crate::policy::{KeepAliveTracker, PlacementPolicy, PolicySet, ScalingPolicy};
 use crate::provider::CloudProvider;
 use crate::request::{ColdStartBreakdown, FailureReason, Outcome, ServingRequest, ServingResponse};
 use crate::storage::StorageProfile;
@@ -182,6 +183,9 @@ pub struct ServerlessConfig {
     pub extra_container_mb: f64,
     /// Extra dummy MB downloaded beside the model (Figure 12b sweep).
     pub extra_download_mb: f64,
+    /// Keep-alive / placement / scaling policies. The default reproduces
+    /// the provider behavior above exactly (pinned by the policy goldens).
+    pub policy: PolicySet,
 }
 
 impl ServerlessConfig {
@@ -196,6 +200,7 @@ impl ServerlessConfig {
             bake_model_in_image: false,
             extra_container_mb: 0.0,
             extra_download_mb: 0.0,
+            policy: PolicySet::default(),
         }
     }
 
@@ -262,6 +267,12 @@ struct Instance {
     /// handler: the instance dies when the handler would have completed.
     poisoned: bool,
     last_used: SimTime,
+    /// Handlers this instance has executed (least-loaded placement key).
+    served: u64,
+    /// The keep-alive window in force when this instance last went idle;
+    /// its pending reclaim check compares against this, so an adaptive
+    /// policy can't retroactively shorten a window already granted.
+    idle_window: SimDuration,
 }
 
 /// The simulated serverless platform.
@@ -269,6 +280,8 @@ pub struct ServerlessPlatform {
     cfg: ServerlessConfig,
     rng: SimRng,
     faults: FaultInjector,
+    /// Keep-alive policy state (inter-arrival histogram when adaptive).
+    keep_alive: KeepAliveTracker,
     instances: IdMap<Instance>,
     /// Idle on-demand instance ids, most-recently-used last (we pop from
     /// the back, so the pool shrinks naturally and keep-alive reclaims the
@@ -315,6 +328,7 @@ impl ServerlessPlatform {
         ServerlessPlatform {
             rng: seed.substream("serverless").rng(),
             faults: FaultInjector::disabled(),
+            keep_alive: KeepAliveTracker::new(cfg.policy.keep_alive),
             cfg,
             instances: IdMap::new(),
             idle: Vec::new(),
@@ -381,6 +395,8 @@ impl ServerlessPlatform {
                     warm: true,
                     poisoned: false,
                     last_used: sched.now(),
+                    served: 0,
+                    idle_window: self.cfg.params.keep_alive,
                 },
             );
             self.idle_provisioned.push(id);
@@ -418,6 +434,7 @@ impl ServerlessPlatform {
             component: COMPONENT,
             request: req.id.0,
         });
+        self.keep_alive.observe_arrival(sched.now());
         if let Some(kind) = self.faults.admit(sched.now()) {
             // Injected throttle / outage: refused at the front door, like
             // a 429 before any environment is involved.
@@ -528,11 +545,35 @@ impl ServerlessPlatform {
     }
 
     fn pick_idle(&mut self) -> Option<u64> {
-        // Prefer provisioned instances (Lambda routes to provisioned
-        // capacity first), then the most recently used warm instance.
-        // Both pools are most-recently-used last, so this picks exactly
-        // the instance a scan over one mixed pool would.
-        self.idle_provisioned.pop().or_else(|| self.idle.pop())
+        // Provisioned capacity is always routed to first (Lambda's rule),
+        // whatever the placement policy.
+        match self.cfg.policy.placement {
+            PlacementPolicy::Mru => {
+                // Both pools are most-recently-used last, so popping picks
+                // exactly the instance a scan over one mixed pool would.
+                self.idle_provisioned.pop().or_else(|| self.idle.pop())
+            }
+            PlacementPolicy::LeastLoaded => self
+                .pick_least_loaded_from_provisioned_pool(true)
+                .or_else(|| self.pick_least_loaded_from_provisioned_pool(false)),
+        }
+    }
+
+    /// Removes and returns the idle instance with the fewest served
+    /// handlers (ties to the lowest id) from one of the two idle pools.
+    fn pick_least_loaded_from_provisioned_pool(&mut self, provisioned: bool) -> Option<u64> {
+        let instances = &self.instances;
+        let pool = if provisioned {
+            &mut self.idle_provisioned
+        } else {
+            &mut self.idle
+        };
+        let best = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &id)| (instances[id].served, id))
+            .map(|(slot, _)| slot)?;
+        Some(pool.swap_remove(best))
     }
 
     fn execute_warm(
@@ -554,6 +595,7 @@ impl ServerlessPlatform {
         let inst = self.instances.get_mut(id).expect("warm instance exists");
         inst.state = InstanceState::Busy;
         inst.poisoned = crashed;
+        inst.served += 1;
         if crashed {
             sched.emit(|| EventKind::Fault {
                 component: Some(COMPONENT),
@@ -649,6 +691,8 @@ impl ServerlessPlatform {
                 warm: false,
                 poisoned: false,
                 last_used: sched.now(),
+                served: 0,
+                idle_window: self.cfg.params.keep_alive,
             },
         );
         self.gauge.record_delta(sched.now(), 1);
@@ -670,6 +714,11 @@ impl ServerlessPlatform {
     }
 
     fn maybe_overprovision(&mut self, sched: &mut PlatformScheduler<'_>) {
+        // Gated before any RNG draw so disabling it cannot perturb the
+        // other sampled quantities of a run.
+        if self.cfg.policy.scaling == ScalingPolicy::NoOverprovision {
+            return;
+        }
         let factor = if self.cfg.provisioned_concurrency > 0 {
             self.cfg.params.spawn_factor_provisioned
         } else {
@@ -743,6 +792,7 @@ impl ServerlessPlatform {
                 let inst = self.instances.get_mut(id).expect("instance exists");
                 inst.warm = true;
                 inst.poisoned = crashed;
+                inst.served += 1;
                 if crashed {
                     sched.emit(|| EventKind::Fault {
                         component: Some(COMPONENT),
@@ -835,8 +885,13 @@ impl ServerlessPlatform {
         } else {
             self.idle.push(id);
         }
+        let window = self.keep_alive.window(self.cfg.params.keep_alive);
+        self.instances
+            .get_mut(id)
+            .expect("idle instance exists")
+            .idle_window = window;
         sched.schedule(
-            self.cfg.params.keep_alive,
+            window,
             PlatformEvent::Serverless(ServerlessEvent::ReclaimCheck(id)),
         );
     }
@@ -848,7 +903,7 @@ impl ServerlessPlatform {
         if inst.provisioned || !matches!(inst.state, InstanceState::Idle) {
             return;
         }
-        if sched.now().saturating_duration_since(inst.last_used) >= self.cfg.params.keep_alive {
+        if sched.now().saturating_duration_since(inst.last_used) >= inst.idle_window {
             self.instances.remove(id);
             self.idle.retain(|&i| i != id);
             self.gauge.record_delta(sched.now(), -1);

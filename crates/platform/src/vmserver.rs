@@ -11,6 +11,7 @@
 use crate::api::{PlatformEvent, PlatformReport, PlatformScheduler};
 use crate::billing::{CostBreakdown, InstanceMeter, InstancePricing};
 use crate::faults::{FaultInjector, FaultPlan};
+use crate::policy::{PlacementPolicy, PolicySet};
 use crate::provider::CloudProvider;
 use crate::request::{FailureReason, Outcome, ServingRequest, ServingResponse};
 use slsb_model::{predict_time, ModelProfile, RuntimeProfile};
@@ -63,6 +64,10 @@ pub struct VmServerConfig {
     pub runtime: RuntimeProfile,
     /// Log-normal σ on sampled service times.
     pub jitter_sigma: f64,
+    /// Keep-alive / placement / scaling policies. Only placement applies
+    /// here — a rented box has fixed capacity, so there is nothing to
+    /// reclaim or scale; the other members are ignored.
+    pub policy: PolicySet,
 }
 
 impl VmServerConfig {
@@ -83,6 +88,7 @@ impl VmServerConfig {
             model,
             runtime,
             jitter_sigma: 0.15,
+            policy: PolicySet::default(),
         }
     }
 
@@ -103,6 +109,7 @@ impl VmServerConfig {
             model,
             runtime,
             jitter_sigma: 0.15,
+            policy: PolicySet::default(),
         }
     }
 
@@ -128,6 +135,8 @@ pub struct VmServer {
     cfg: VmServerConfig,
     rng: SimRng,
     busy: Vec<bool>,
+    /// Requests served per worker (least-loaded placement key).
+    served: Vec<u64>,
     queue: VecDeque<(ServingRequest, SimTime)>,
     meter: InstanceMeter,
     gauge: GaugeSeries,
@@ -150,6 +159,7 @@ impl VmServer {
             rng: seed.substream("vmserver").rng(),
             cfg,
             busy: vec![false; workers],
+            served: vec![0; workers],
             queue: VecDeque::new(),
             meter,
             gauge: GaugeSeries::new(),
@@ -259,9 +269,23 @@ impl VmServer {
         }
     }
 
+    /// The free worker the placement policy routes the next request to.
+    fn pick_worker(&self) -> Option<usize> {
+        match self.cfg.policy.placement {
+            PlacementPolicy::Mru => self.busy.iter().position(|&b| !b),
+            PlacementPolicy::LeastLoaded => self
+                .busy
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| !b)
+                .min_by_key(|&(w, _)| (self.served[w], w))
+                .map(|(w, _)| w),
+        }
+    }
+
     fn dispatch(&mut self, sched: &mut PlatformScheduler<'_>) {
         while !self.queue.is_empty() {
-            let Some(worker) = self.busy.iter().position(|&b| !b) else {
+            let Some(worker) = self.pick_worker() else {
                 return;
             };
             // Skip requests whose client has already given up.
@@ -282,6 +306,7 @@ impl VmServer {
             let service = self.cfg.request_overhead + predict;
             self.busy_seconds += service.as_secs_f64();
             self.busy[worker] = true;
+            self.served[worker] += 1;
             // A mid-execution crash kills the serving process for this
             // request; systemd-style supervision restarts it within the same
             // service window, so the worker stays busy and then recovers.

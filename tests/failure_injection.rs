@@ -8,8 +8,9 @@
 use slsbench::core::{analyze, Deployment, Executor};
 use slsbench::model::{ModelKind, RuntimeKind};
 use slsbench::platform::{
-    CloudProvider, FaultPlan, HybridConfig, ManagedMlConfig, OutageWindow, Platform, PlatformKind,
-    ServerlessConfig, SpilloverPolicy, StorageProfile, ThrottleSpec, VmServerConfig,
+    CloudProvider, FaultPlan, HybridConfig, KeepAlivePolicy, ManagedMlConfig, OutageWindow,
+    Platform, PlatformKind, PolicySet, ServerlessConfig, SpilloverPolicy, StorageProfile,
+    ThrottleSpec, VmServerConfig,
 };
 use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppSpec, WorkloadTrace};
@@ -137,27 +138,48 @@ const FAMILIES: [&str; 4] = ["serverless", "managedml", "vm", "hybrid"];
 const REGIMES: [&str; 4] = ["crash", "storage", "throttle", "outage"];
 
 fn family_platform(family: &str) -> (Deployment, Platform) {
+    family_platform_with(family, PolicySet::default())
+}
+
+/// [`family_platform`] with an explicit policy set installed (the hybrid
+/// family forwards it to both children via `with_policy_set`).
+fn family_platform_with(family: &str, policy: PolicySet) -> (Deployment, Platform) {
     let model = ModelKind::MobileNet;
     let runtime = RuntimeKind::Tf115;
     match family {
         "serverless" => (
             Deployment::new(PlatformKind::AwsServerless, model, runtime),
             Platform::serverless(
-                ServerlessConfig::new(CloudProvider::Aws, model.profile(), runtime.profile()),
+                {
+                    let mut cfg =
+                        ServerlessConfig::new(CloudProvider::Aws, model.profile(), runtime.profile());
+                    cfg.policy = policy;
+                    cfg
+                },
                 SEED,
             ),
         ),
         "managedml" => (
             Deployment::new(PlatformKind::AwsManagedMl, model, runtime),
             Platform::managedml(
-                ManagedMlConfig::new(CloudProvider::Aws, model.profile(), runtime.profile()),
+                {
+                    let mut cfg =
+                        ManagedMlConfig::new(CloudProvider::Aws, model.profile(), runtime.profile());
+                    cfg.policy = policy;
+                    cfg
+                },
                 SEED,
             ),
         ),
         "vm" => (
             Deployment::new(PlatformKind::AwsCpu, model, runtime),
             Platform::vm(
-                VmServerConfig::cpu(CloudProvider::Aws, model.profile(), runtime.profile()),
+                {
+                    let mut cfg =
+                        VmServerConfig::cpu(CloudProvider::Aws, model.profile(), runtime.profile());
+                    cfg.policy = policy;
+                    cfg
+                },
                 SEED,
             ),
         ),
@@ -172,7 +194,8 @@ fn family_platform(family: &str) -> (Deployment, Platform) {
                         RuntimeKind::Ort14.profile(),
                     ),
                     policy: SpilloverPolicy::QueueDepth(2),
-                },
+                }
+                .with_policy_set(policy),
                 SEED,
             ),
         ),
@@ -249,6 +272,50 @@ fn fault_matrix_preserves_accounting_in_every_cell() {
                     assert!(a.success_ratio < 1.0, "{cell}: throttling costs successes");
                 }
                 _ => {}
+            }
+        }
+    }
+}
+
+/// The fault matrix again, now swept across the keep-alive zoo: fault
+/// accounting must stay exact (analyzer count == platform count) and
+/// request conservation must hold under every (family, regime, keep-alive
+/// policy) combination, not just the defaults the cells above pin.
+#[test]
+fn fault_matrix_holds_under_every_keep_alive_policy() {
+    let tr = trace();
+    let policies: [(&str, PolicySet); 2] = [
+        (
+            "fixed-60",
+            PolicySet {
+                keep_alive: KeepAlivePolicy::Fixed { idle_s: 60.0 },
+                ..PolicySet::default()
+            },
+        ),
+        (
+            "hybrid-histogram",
+            PolicySet {
+                keep_alive: KeepAlivePolicy::hybrid_histogram(),
+                ..PolicySet::default()
+            },
+        ),
+    ];
+    for family in FAMILIES {
+        for regime in REGIMES {
+            for (label, policy) in policies {
+                let (dep, platform) = family_platform_with(family, policy);
+                let plan = fault_regime(regime);
+                let run = Executor::default()
+                    .with_faults(plan)
+                    .run_built(&dep, platform, &tr, SEED);
+                let a = analyze(&run);
+                let cell = format!("{family} x {regime} x {label}");
+                assert_eq!(a.total as usize, tr.len(), "{cell}: every request resolved");
+                assert_invariants(&a);
+                assert_eq!(a.faults, run.platform.faults, "{cell}: fault accounting");
+                if matches!(regime, "throttle" | "outage") {
+                    assert!(a.faults > 0, "{cell}: admission faults must fire");
+                }
             }
         }
     }

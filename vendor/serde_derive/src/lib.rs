@@ -5,7 +5,8 @@
 //!
 //! Supported shapes — exactly what this workspace declares:
 //! - structs with named fields (field attrs: `#[serde(skip)]`,
-//!   `#[serde(default = "path")]`);
+//!   `#[serde(default)]`, `#[serde(default = "path")]` — defaults also
+//!   apply to struct-variant fields);
 //! - tuple structs (newtypes serialize transparently, wider tuples as
 //!   arrays);
 //! - enums of unit / newtype / struct variants, externally tagged by
@@ -168,6 +169,9 @@ fn merge_serde_args(attrs: &mut SerdeAttrs, stream: TokenStream) {
         match (key.as_str(), value) {
             ("skip", None) => attrs.skip = true,
             ("default", Some(path)) => attrs.default_path = Some(path),
+            ("default", None) => {
+                attrs.default_path = Some("::std::default::Default::default".to_string())
+            }
             ("tag", Some(t)) => attrs.tag = Some(t),
             ("rename_all", Some(style)) => {
                 assert_eq!(
@@ -580,8 +584,15 @@ fn gen_de_tagged_enum(name: &str, tag: &str, attrs: &SerdeAttrs, variants: &[Var
 fn struct_variant_inits(enum_name: &str, variant: &str, fields: &[Field], source: &str) -> String {
     let mut inits = String::new();
     for f in fields {
+        let fallback = match &f.attrs.default_path {
+            Some(path) => format!("{path}()"),
+            None => format!(
+                "return Err(::serde::DeError::new(\"missing field `{f}` in {enum_name}::{variant}\"))",
+                f = f.name
+            ),
+        };
         inits.push_str(&format!(
-            "{f}: match {source}.get(\"{f}\") {{ Some(x) => ::serde::Deserialize::from_content(x)?, None => return Err(::serde::DeError::new(\"missing field `{f}` in {enum_name}::{variant}\")) }},\n",
+            "{f}: match {source}.get(\"{f}\") {{ Some(x) => ::serde::Deserialize::from_content(x)?, None => {fallback} }},\n",
             f = f.name
         ));
     }

@@ -222,6 +222,64 @@ for budget in "--jobs 4" "--shards 4"; do
 done
 echo "verify.sh: fleet determinism ok (--jobs/--shards byte-identical)"
 
+# Policy-zoo smoke: every zoo member must run the fault scenario cleanly,
+# keep the analyzer's fault totals in exact agreement with the recorded
+# trace, and never beat the clairvoyant oracle's cold-start lower bound.
+for policy in default fixed hybrid_histogram least_loaded no_overprovision; do
+    policy_out="$(./target/release/slsb run scenarios/fault_smoke.json \
+        --policy "$policy" --trace "$tracefile")"
+    plat_faults="$(sed -n 's/^plat. faults  : //p' <<<"$policy_out")"
+    client_faults="$(sed -n 's/^client faults : //p' <<<"$policy_out")"
+    cold="$(sed -n 's/^cold starts   : //p' <<<"$policy_out")"
+    oracle_cold="$(sed -n 's/^oracle        : cold >= \([0-9]*\).*/\1/p' <<<"$policy_out")"
+    fault_lines="$(grep -c '"event":"fault"' "$tracefile" || true)"
+    if [[ -z "$cold" || -z "$oracle_cold" ]]; then
+        echo "verify.sh: policy zoo ($policy): missing cold-start/oracle lines" >&2
+        exit 1
+    fi
+    if (( plat_faults + client_faults != fault_lines )); then
+        echo "verify.sh: policy zoo ($policy): analyzer faults ($plat_faults+$client_faults) != $fault_lines recorded" >&2
+        exit 1
+    fi
+    if (( oracle_cold > cold )); then
+        echo "verify.sh: policy zoo ($policy): oracle bound $oracle_cold exceeds actual cold starts $cold" >&2
+        exit 1
+    fi
+    echo "verify.sh: policy zoo ok ($policy: $cold cold starts, oracle >= $oracle_cold, $fault_lines fault events)"
+done
+
+# Unknown policy names must fail loudly, not fall back to a default.
+set +e
+./target/release/slsb run scenarios/fault_smoke.json --policy no_such_policy >/dev/null 2>&1
+policy_rc=$?
+set -e
+if (( policy_rc == 0 )); then
+    echo "verify.sh: policy zoo: unknown policy name was silently accepted" >&2
+    exit 1
+fi
+echo "verify.sh: policy zoo rejects unknown names (exit $policy_rc)"
+
+# Non-default policies must stay worker-budget invariant too: sharded
+# single-run metrics and fleet metrics must be byte-identical across
+# --shards/--jobs under the adaptive hybrid-histogram policy.
+./target/release/slsb run scenarios/fault_smoke.json --policy hybrid_histogram \
+    --shards 2 --metrics-out "$fleet_m1" >/dev/null
+./target/release/slsb run scenarios/fault_smoke.json --policy hybrid_histogram \
+    --shards 4 --metrics-out "$fleet_m2" >/dev/null
+if ! cmp -s "$fleet_m1" "$fleet_m2"; then
+    echo "verify.sh: sharded run under hybrid_histogram differs between --shards 2 and --shards 4" >&2
+    exit 1
+fi
+./target/release/slsb run scenarios/fleet_zipf.json --policy hybrid_histogram \
+    --scale 0.25 --jobs 1 --metrics-out "$fleet_m1" >/dev/null
+./target/release/slsb run scenarios/fleet_zipf.json --policy hybrid_histogram \
+    --scale 0.25 --jobs 4 --metrics-out "$fleet_m2" >/dev/null
+if ! cmp -s "$fleet_m1" "$fleet_m2"; then
+    echo "verify.sh: fleet run under hybrid_histogram differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "verify.sh: policy determinism ok (hybrid_histogram byte-identical across worker budgets)"
+
 # Trace-replay smoke: an ingested trace summary must replay its exact
 # invocation count (the bucket grid is a contract, not a hint).
 replay_out="$(./target/release/slsb run scenarios/fleet_trace_replay.json)"
