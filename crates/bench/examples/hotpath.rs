@@ -1,0 +1,143 @@
+//! Scratch decomposition of the fleet per-event cost. Not part of the
+//! shipped benchmark suite — run with
+//! `cargo run --release -p slsb-bench --example hotpath`.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use slsb_core::{FleetScenario, FleetSource};
+use slsb_sim::{Seed, SimDuration, SimTime};
+
+fn main() {
+    // --- raw RNG draws ------------------------------------------------
+    let mut rng = Seed(7).rng();
+    let n = 10_000_000u64;
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += rng.uniform();
+    }
+    report("uniform", n, t0, acc);
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += rng.standard_exp();
+    }
+    report("standard_exp (ziggurat)", n, t0, acc);
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += rng.standard_normal();
+    }
+    report("standard_normal (ziggurat)", n, t0, acc);
+
+    let t0 = Instant::now();
+    let mut acc = SimDuration::ZERO;
+    for _ in 0..n {
+        acc += rng.lognormal(SimDuration::from_micros(50_000), 0.2);
+    }
+    report("lognormal jitter", n, t0, acc.as_secs_f64());
+
+    // --- histogram record ---------------------------------------------
+    let mut h = slsb_obs::LogLinearHistogram::with_range(-6, 9, 16);
+    let mut rng = Seed(9).rng();
+    let vals: Vec<f64> = (0..1_000_000)
+        .map(|_| 10f64.powf(rng.uniform() * 10.0 - 5.0))
+        .collect();
+    let t0 = Instant::now();
+    for rep in 0..10 {
+        for &v in &vals {
+            h.record(v + rep as f64 * 1e-12);
+        }
+    }
+    report("histogram record", n, t0, h.count() as f64);
+
+    // --- fleet arrival stream (sampling + k-way merge) ----------------
+    let mut profiles = BTreeMap::new();
+    profiles.insert("bench".to_string(), default_deployment());
+    let scenario = FleetScenario {
+        name: "hotpath".to_string(),
+        seed: 152,
+        fleet: FleetSource::Synth {
+            apps: 1000,
+            zipf_exponent: 1.1,
+            total_rate: 3300.0,
+            mean_busy_s: 10.0,
+            median_idle_s: 30.0,
+            idle_sigma: 1.5,
+            duration_s: 600.0,
+        },
+        profiles,
+        timeout_s: 60.0,
+        policy: None,
+    };
+    let plan = scenario.resolve(None).expect("resolve");
+    let t0 = Instant::now();
+    let ids: Vec<u32> = (0..plan.spec.apps.len() as u32).collect();
+    let mut stream = plan.spec.arrival_stream_for(Seed(42), ids.iter().copied());
+    let mut count = 0u64;
+    let mut last = SimTime::ZERO;
+    for (t, app) in &mut stream {
+        count += 1;
+        last = t;
+        black_box(app);
+    }
+    report("arrival stream next()", count, t0, last.as_secs_f64());
+
+    // --- full fleet run for reference ---------------------------------
+    let runner = slsb_core::FleetRunner::default().with_workers(1);
+    runner.run(&plan, Seed(1)).expect("warmup");
+    let t0 = Instant::now();
+    let run = runner.run(&plan, Seed(2)).expect("run");
+    report("fleet engine event", run.engine_events, t0, run.requests as f64);
+
+    // --- the gated bench scenario (256 apps, 400/s, 240 s) -------------
+    let mut profiles = BTreeMap::new();
+    profiles.insert("bench".to_string(), default_deployment());
+    let scenario = FleetScenario {
+        name: "bench fleet".to_string(),
+        seed: 152,
+        fleet: FleetSource::Synth {
+            apps: 256,
+            zipf_exponent: 1.1,
+            total_rate: 400.0,
+            mean_busy_s: 10.0,
+            median_idle_s: 30.0,
+            idle_sigma: 1.5,
+            duration_s: 240.0,
+        },
+        profiles,
+        timeout_s: 60.0,
+        policy: None,
+    };
+    let plan = scenario.resolve(None).expect("resolve");
+    runner.run(&plan, Seed(1)).expect("warmup");
+    let mut events = 0u64;
+    let mut reqs = 0u64;
+    let t0 = Instant::now();
+    for rep in 0..3 {
+        let run = runner.run(&plan, Seed(2000 + rep)).expect("run");
+        events += run.engine_events;
+        reqs += run.requests;
+    }
+    report("bench-row fleet event", events, t0, reqs as f64);
+}
+
+fn default_deployment() -> slsb_core::Deployment {
+    slsb_core::Deployment::new(
+        slsb_platform::PlatformKind::AwsServerless,
+        slsb_model::ModelKind::MobileNet,
+        slsb_model::RuntimeKind::Tf115,
+    )
+}
+
+fn report(label: &str, n: u64, t0: Instant, sink: f64) {
+    let el = t0.elapsed().as_secs_f64();
+    println!(
+        "{label:32} {n:>12} ops in {el:>7.3}s = {:>7.1} ns/op  (sink {sink:.3})",
+        el / n as f64 * 1e9
+    );
+}

@@ -21,8 +21,8 @@ use slsb_bench::perf;
 use slsb_core::{
     analyze, ascii_chart, explore_jobs, fleet_metrics, fmt_money, fmt_opt_secs, fmt_pct,
     oracle_bound, replicate_jobs, run_metrics, slo_metrics, slo_samples, trace_oracle, Deployment,
-    Executor, ExplorerGrid, FleetRunner, FleetScenario, Jobs, RetryPolicy, Scenario, SloSample,
-    SloSpec, Table, WorkloadSpec,
+    Executor, ExplorerGrid, FleetPartition, FleetRunner, FleetScenario, Jobs, RetryPolicy, Scenario,
+    SloSample, SloSpec, Table, WorkloadSpec, FLEET_CELLS,
 };
 use slsb_model::{ModelKind, RuntimeKind};
 use slsb_obs::{set_log_level, trace_view, JsonlRecorder, Profile};
@@ -664,6 +664,23 @@ fn cmd_run_fleet(path: &str, json: &str, opts: &RunOptions) -> Result<(), String
         "arrival allocs: {}",
         region_allocs[slsb_sim::alloc::Region::Executor as usize]
     );
+    // The weighted partition's balance, in expected-request units. The
+    // verify.sh fleet smoke parses this line and asserts the LPT invariant
+    // (max cell <= 2x mean, unless a lone head app is the floor).
+    let part = FleetPartition::compute(&plan, FLEET_CELLS.min(run.apps.len()).max(1));
+    let bal = part.balance();
+    println!(
+        "cell balance  : {} cells, max {:.1} / mean {:.1} / max-app {:.1} ({})",
+        part.cells.len(),
+        bal.max_cell,
+        bal.mean_cell,
+        bal.max_app,
+        if bal.is_balanced() {
+            "balanced"
+        } else {
+            "imbalanced"
+        }
+    );
     if let Some(n) = trace_events {
         println!("trace events  : {n}");
     }
@@ -772,10 +789,16 @@ fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
         // Gate mode: a quick measurement against the committed report,
         // leaving the file untouched. Absolute floors always apply; the
         // speedup ratio is only compared when the baseline recorded one.
+        // The fleet row runs at full size (it costs well under a second)
+        // so the third-wave throughput bar is graded on the real
+        // workload, not the smoke-size one.
         let baseline = std::fs::read_to_string(&args.out)
             .map_err(|e| format!("cannot read baseline {}: {e}", args.out))?;
         println!("Checking kernel throughput against {}...\n", args.out);
-        let report = perf::run_benchmarks(&perf::BenchConfig { quick: true })?;
+        let report = perf::run_benchmarks(&perf::BenchConfig {
+            quick: true,
+            fleet_full: true,
+        })?;
         println!("{}", perf::summary(&report));
         let verdict = perf::check_against(&report, &baseline)?;
         println!("\n{verdict}");
@@ -783,7 +806,10 @@ fn cmd_bench(args: &BenchArgs) -> Result<(), String> {
     }
     let mode = if args.quick { "quick" } else { "full" };
     println!("Measuring kernel throughput (wheel vs heap, {mode} matrix)...\n");
-    let mut report = perf::run_benchmarks(&perf::BenchConfig { quick: args.quick })?;
+    let mut report = perf::run_benchmarks(&perf::BenchConfig {
+        quick: args.quick,
+        fleet_full: false,
+    })?;
     // Carry the measurement history of the report being replaced forward
     // and stamp this run onto it, so the file tracks a trajectory instead
     // of only the latest point.

@@ -43,11 +43,13 @@ pub struct ReproConfig {
 impl Default for ReproConfig {
     fn default() -> Self {
         ReproConfig {
-            // Seed 152 is the calibrated default: its generated workloads
+            // Seed 127 is the calibrated default: its generated workloads
             // hit the paper's published request counts (15 000 / 51 600 /
-            // 86 000) within 2.3%. Any seed works; this one makes the
-            // regenerated tables directly comparable to the paper's.
-            seed: 152,
+            // 86 000) within 0.3% under the ziggurat samplers. Any seed
+            // works; this one makes the regenerated tables directly
+            // comparable to the paper's. (Seed 152 played this role for
+            // the pre-ziggurat draw streams.)
+            seed: 127,
             scale: 1.0,
         }
     }

@@ -505,6 +505,11 @@ impl ExecSystem<'_> {
     }
 
     fn drain(&mut self, queue: &mut EventQueue<ExecEvent>) {
+        // Most events complete nothing; probe before paying for scope
+        // guards and the buffer hand-off.
+        if !self.platform.has_responses() {
+            return;
+        }
         {
             let _region = RegionGuard::enter(Region::Platform);
             let _p = ProfGuard::enter(self.platform.prof_label());

@@ -16,13 +16,19 @@
 //!   most one pending merged arrival at a time and pulls the next one only
 //!   when the current one fires.
 //! - Apps are partitioned over a **fixed** number of cells
-//!   ([`FLEET_CELLS`]) by `app_index % cells`; `--jobs`/`--shards` only
-//!   changes how many worker threads execute those cells. Combined with
-//!   per-app RNG substreams keyed by global app index
+//!   ([`FLEET_CELLS`]) by a weighted LPT bin-packing
+//!   ([`FleetPartition`]): apps sorted by expected event weight
+//!   (rate × duration from the resolved plan) are greedily assigned to
+//!   the least-loaded cell. The partition is a pure function of the
+//!   [`FleetPlan`] — never of `--jobs`/`--shards`, which only change how
+//!   many worker threads execute those cells. Combined with per-app RNG
+//!   substreams keyed by global app index
 //!   (`substream_indexed("app", i)`, `substream_indexed("fleet-app", i)`,
 //!   `substream_indexed("app-payload", i)`), every result — per-app
 //!   counters, merged platform report, recorded trace — is byte-identical
-//!   for any worker budget.
+//!   for any worker budget. Under Zipf popularity this shrinks the
+//!   slowest cell from "head app + 1/8 of the tail" (the old
+//!   `app % cells` rule) to ~1/cells of total weight.
 //!
 //! Unlike the single-app executor there is no client batching and no retry
 //! layer: each trace arrival is one invocation, delivered after its
@@ -50,9 +56,154 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Fixed cell count for intra-run parallelism. The app → cell mapping
-/// (`app % FLEET_CELLS`, capped by the app count) never depends on the
-/// worker budget, so results cannot vary with `--jobs`/`--shards`.
-pub const FLEET_CELLS: usize = 8;
+/// ([`FleetPartition`], capped by the app count) never depends on the
+/// worker budget, so results cannot vary with `--jobs`/`--shards`. 32
+/// cells let big boxes keep every core busy while small boxes just run
+/// more cells per worker.
+pub const FLEET_CELLS: usize = 32;
+
+/// A deterministic weighted assignment of apps to cells.
+///
+/// Built by LPT (longest-processing-time-first) bin-packing: apps are
+/// sorted by descending expected event weight — `expected_requests`
+/// over the plan duration plus a constant per-app baseline for platform
+/// start/teardown — and greedily placed on the least-loaded cell, ties
+/// broken by lowest cell index then lowest app index. The result is a
+/// pure function of the [`FleetPlan`] and the cell count, so it can
+/// never vary with the worker budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPartition {
+    /// Per-cell member lists, ascending global app index within a cell.
+    pub cells: Vec<Vec<u32>>,
+    /// Per-cell total expected weight (same units as `expected_requests`).
+    pub weights: Vec<f64>,
+    /// The heaviest single app's weight. A cell can never weigh less
+    /// than its heaviest member, so this is the unavoidable floor on the
+    /// max cell weight (under Zipf the head app alone can exceed 2× the
+    /// mean cell weight — no partition can shrink that cell further).
+    pub max_app_weight: f64,
+}
+
+/// The balance figures the Zipf fleet smoke gate asserts on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellBalance {
+    /// Heaviest cell's total weight.
+    pub max_cell: f64,
+    /// Mean cell weight.
+    pub mean_cell: f64,
+    /// Heaviest single app's weight (the indivisible floor).
+    pub max_app: f64,
+}
+
+impl CellBalance {
+    /// Whether the partition is as balanced as the gate demands: the
+    /// heaviest cell is within 2× the mean, or is pinned by a single
+    /// indivisible head app that no partition could split.
+    pub fn is_balanced(&self) -> bool {
+        self.max_cell <= (2.0 * self.mean_cell).max(self.max_app * (1.0 + 1e-9))
+    }
+}
+
+impl FleetPartition {
+    /// Partitions `plan`'s apps over `cells` cells.
+    ///
+    /// # Panics
+    /// Panics if `cells == 0`.
+    pub fn compute(plan: &FleetPlan, cells: usize) -> FleetPartition {
+        assert!(cells > 0, "partition needs at least one cell");
+        let duration = plan.spec.duration;
+        // Every app carries a fixed baseline (platform build, start,
+        // teardown) on top of its request-rate weight, so idle tenants
+        // still spread across cells instead of piling onto cell 0.
+        let weights: Vec<f64> = plan
+            .spec
+            .apps
+            .iter()
+            .map(|a| a.process.expected_requests(duration) + 1.0)
+            .collect();
+        let mut order: Vec<u32> = (0..weights.len() as u32).collect();
+        // Descending weight; equal weights keep ascending app order. Both
+        // keys are exact, so the sort is deterministic.
+        order.sort_by(|&a, &b| {
+            weights[b as usize]
+                .total_cmp(&weights[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cells];
+        let mut loads = vec![0.0f64; cells];
+        for g in order {
+            let lightest = loads
+                .iter()
+                .enumerate()
+                .min_by(|(i, a), (j, b)| a.total_cmp(b).then(i.cmp(j)))
+                .map(|(i, _)| i)
+                .expect("at least one cell");
+            loads[lightest] += weights[g as usize];
+            members[lightest].push(g);
+        }
+        for cell in &mut members {
+            cell.sort_unstable();
+        }
+        FleetPartition {
+            cells: members,
+            weights: loads,
+            max_app_weight: weights.iter().copied().fold(0.0f64, f64::max),
+        }
+    }
+
+    /// The balance figures the Zipf fleet smoke gate asserts on
+    /// (`max_cell ≤ max(2 × mean, max_app)`).
+    pub fn balance(&self) -> CellBalance {
+        CellBalance {
+            max_cell: self.weights.iter().copied().fold(0.0f64, f64::max),
+            mean_cell: self.weights.iter().sum::<f64>() / self.weights.len().max(1) as f64,
+            max_app: self.max_app_weight,
+        }
+    }
+}
+
+/// Why a fleet run failed.
+#[derive(Debug)]
+pub enum FleetRunError {
+    /// A per-app deployment could not be built.
+    Plan(PlanError),
+    /// The plan resolves to zero apps: there is nothing to run, and a
+    /// silent empty result would read as a perfect success ratio.
+    EmptyFleet,
+    /// Internal stitching invariant broken: an app was produced by no
+    /// cell (or two). Indicates a partition bug, reported instead of
+    /// panicking so callers can surface which app was lost.
+    UnassignedApp {
+        /// The global index of the app no cell produced.
+        app: u32,
+    },
+}
+
+impl fmt::Display for FleetRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetRunError::Plan(e) => write!(f, "invalid deployment: {e}"),
+            FleetRunError::EmptyFleet => write!(f, "fleet plan has no apps"),
+            FleetRunError::UnassignedApp { app } => {
+                write!(f, "app {app} was not assigned to exactly one cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetRunError {}
+
+impl From<PlanError> for FleetRunError {
+    fn from(e: PlanError) -> Self {
+        FleetRunError::Plan(e)
+    }
+}
+
+/// How many merged arrivals are pulled from the k-way merge per refill.
+/// The burst lands in the kernel through one `schedule_many` call (one
+/// prof/region scope, one wheel cursor walk) instead of one
+/// `schedule_at` per arrival; memory stays O(apps + burst).
+const ARRIVAL_BURST: usize = 64;
 
 /// Where a fleet's apps come from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -446,8 +597,9 @@ impl FleetRunner {
     /// Runs the fleet.
     ///
     /// # Errors
-    /// Fails when a per-app deployment cannot be built.
-    pub fn run(&self, plan: &FleetPlan, seed: Seed) -> Result<FleetRunResult, PlanError> {
+    /// Fails when the plan has no apps or a per-app deployment cannot be
+    /// built.
+    pub fn run(&self, plan: &FleetPlan, seed: Seed) -> Result<FleetRunResult, FleetRunError> {
         self.run_inner(plan, seed, None)
     }
 
@@ -458,13 +610,14 @@ impl FleetRunner {
     /// an unrecorded run's.
     ///
     /// # Errors
-    /// Fails when a per-app deployment cannot be built.
+    /// Fails when the plan has no apps or a per-app deployment cannot be
+    /// built.
     pub fn run_recorded(
         &self,
         plan: &FleetPlan,
         seed: Seed,
         rec: &mut dyn Recorder,
-    ) -> Result<FleetRunResult, PlanError> {
+    ) -> Result<FleetRunResult, FleetRunError> {
         self.run_inner(plan, seed, Some(rec))
     }
 
@@ -473,13 +626,17 @@ impl FleetRunner {
         plan: &FleetPlan,
         seed: Seed,
         rec: Option<&mut dyn Recorder>,
-    ) -> Result<FleetRunResult, PlanError> {
+    ) -> Result<FleetRunResult, FleetRunError> {
         let n_apps = plan.spec.apps.len();
-        let cells = FLEET_CELLS.min(n_apps.max(1));
+        if n_apps == 0 {
+            return Err(FleetRunError::EmptyFleet);
+        }
+        let cells = FLEET_CELLS.min(n_apps);
+        let part = FleetPartition::compute(plan, cells);
         let tracing = rec.as_ref().map(|r| r.enabled()).unwrap_or(false);
         let cell_ids: Vec<usize> = (0..cells).collect();
         let outs = parallel_map(Jobs::new(self.workers), &cell_ids, |_, &cell| {
-            self.run_cell(plan, seed, cell, cells, tracing)
+            self.run_cell(plan, seed, &part.cells[cell], tracing)
         });
 
         let mut cell_outs = Vec::with_capacity(cells);
@@ -487,20 +644,25 @@ impl FleetRunner {
             cell_outs.push(out?);
         }
 
-        // Stitch per-app results back into global order: cell c owns apps
-        // {c, c + cells, c + 2·cells, …}, each cell's slots ascending.
+        // Stitch per-app results back into global order via the
+        // partition's member lists (each cell's slots are its members in
+        // ascending global order).
         let mut apps: Vec<Option<AppCellResult>> = (0..n_apps).map(|_| None).collect();
         let mut engine_events = 0u64;
         for (c, out) in cell_outs.iter_mut().enumerate() {
             engine_events += out.engine_events;
             for (slot, app) in out.apps.drain(..).enumerate() {
-                apps[c + slot * cells] = Some(app);
+                let g = part.cells[c][slot] as usize;
+                if apps[g].replace(app).is_some() {
+                    return Err(FleetRunError::UnassignedApp { app: g as u32 });
+                }
             }
         }
         let apps: Vec<AppCellResult> = apps
             .into_iter()
-            .map(|a| a.expect("every app belongs to exactly one cell"))
-            .collect();
+            .enumerate()
+            .map(|(g, a)| a.ok_or(FleetRunError::UnassignedApp { app: g as u32 }))
+            .collect::<Result<_, _>>()?;
 
         let reports: Vec<PlatformReport> = apps.iter().map(|a| a.report.clone()).collect();
         let platform = PlatformReport::merge_shards(&reports);
@@ -563,30 +725,33 @@ impl FleetRunner {
         })
     }
 
-    /// Runs one cell: the apps `{cell, cell + cells, …}`, each on its own
+    /// Runs one cell: the partition's member apps, each on its own
     /// platform, fed by the lazy merge of exactly those apps' arrival
     /// substreams.
     fn run_cell(
         &self,
         plan: &FleetPlan,
         seed: Seed,
-        cell: usize,
-        cells: usize,
+        globals: &[u32],
         tracing: bool,
     ) -> Result<FleetCellOut, PlanError> {
         let _cell = ProfGuard::enter_root("fleet/cell");
         let duration = plan.spec.duration;
-        let globals: Vec<u32> = (cell..plan.spec.apps.len())
-            .step_by(cells)
-            .map(|g| g as u32)
-            .collect();
+
+        // Global app index → cell slot, for mapping merged arrivals onto
+        // this cell's apps without a search. Only this cell's members are
+        // meaningful entries.
+        let mut slot_of = vec![0u32; plan.spec.apps.len()];
+        for (slot, &g) in globals.iter().enumerate() {
+            slot_of[g as usize] = slot as u32;
+        }
 
         // Per-app platforms, payloads, and counters. Pools are pure
         // functions of (input kind, size, samples): memoize per cell.
         let setup = ProfGuard::enter("fleet/setup");
         let mut pools: BTreeMap<(bool, u32), RequestPool> = BTreeMap::new();
         let mut apps = Vec::with_capacity(globals.len());
-        for &g in &globals {
+        for &g in globals {
             let dep = &plan.deployments[g as usize];
             let mut platform = dep.build(seed.substream_indexed("fleet-app", u64::from(g)))?;
             let expected = plan.spec.apps[g as usize]
@@ -627,15 +792,20 @@ impl FleetRunner {
         let mut records = tracing.then(MemoryRecorder::new);
         let mut buffer: Vec<(SimDuration, PlatformEvent)> = Vec::new();
         let mut resp_scratch: Vec<ServingResponse> = Vec::new();
-        let queue =
-            EventQueue::with_kernel_and_capacity(self.kernel, (globals.len() * 4).max(64));
+        let mut arrival_scratch: Vec<(SimTime, FleetEvent)> = Vec::with_capacity(ARRIVAL_BURST);
+        let queue = EventQueue::with_kernel_and_capacity(
+            self.kernel,
+            (globals.len() * 4 + ARRIVAL_BURST).max(64),
+        );
         let mut engine = Engine::with_queue(
             FleetSystem {
                 apps,
                 stream,
-                cells: cells as u32,
+                slot_of,
+                outstanding_arrivals: 0,
                 buffer: &mut buffer,
                 resp_scratch: &mut resp_scratch,
+                arrival_scratch: &mut arrival_scratch,
                 rec: records.as_mut().map(|r| r as &mut dyn Recorder),
                 timeout: plan.timeout,
                 response_net: self.network.response_time(),
@@ -645,9 +815,10 @@ impl FleetRunner {
 
         let horizon = SimTime::ZERO + duration + plan.timeout + SimDuration::from_secs(30);
 
-        // Platform startups at t = 0, then the first merged arrival. Every
-        // later arrival is scheduled by its predecessor: the queue holds at
-        // most one pending arrival per cell at any instant.
+        // Platform startups at t = 0, then the first arrival burst. Every
+        // later burst is pulled when the previous one's last arrival
+        // fires: the queue holds at most ARRIVAL_BURST pending arrivals
+        // per cell at any instant.
         for slot in 0..engine.system.apps.len() {
             let sys = &mut engine.system;
             {
@@ -664,10 +835,7 @@ impl FleetRunner {
                     .map(|(d, e)| (d, FleetEvent::Platform(s, e))),
             );
         }
-        if let Some((at, global)) = engine.system.stream.next() {
-            let slot = global / cells as u32;
-            engine.queue.schedule_at(at, FleetEvent::Arrive(slot));
-        }
+        engine.system.refill_arrivals(&mut engine.queue);
 
         engine.run_until(horizon);
         engine.queue.advance_to(horizon);
@@ -786,12 +954,18 @@ struct FleetSystem<'r> {
     apps: Vec<AppState>,
     /// Lazy k-way merge of this cell's arrival substreams.
     stream: slsb_workload::FleetArrivalStream,
-    /// Total cell count (global index → slot = global / cells).
-    cells: u32,
+    /// Global app index → this cell's slot (valid for members only).
+    slot_of: Vec<u32>,
+    /// Arrive events scheduled from the current burst and not yet fired;
+    /// when it hits zero the next burst is pulled from the merge.
+    outstanding_arrivals: u32,
     /// Platform scheduling buffer, reused across calls.
     buffer: &'r mut Vec<(SimDuration, PlatformEvent)>,
     /// Response drain scratch, reused across calls.
     resp_scratch: &'r mut Vec<ServingResponse>,
+    /// Arrival-burst scratch, reused across refills (arena-style: grows
+    /// once to ARRIVAL_BURST and is drained in place every refill).
+    arrival_scratch: &'r mut Vec<(SimTime, FleetEvent)>,
     /// Trace sink threaded into platform schedulers, if recording.
     rec: Option<&'r mut dyn Recorder>,
     /// Per-request client timeout.
@@ -801,6 +975,26 @@ struct FleetSystem<'r> {
 }
 
 impl FleetSystem<'_> {
+    /// Pulls up to [`ARRIVAL_BURST`] merged arrivals into the scratch
+    /// buffer and hands them to the kernel in one `schedule_many` call.
+    /// The merge yields nondecreasing times, so everything pulled here is
+    /// at or after the queue's current instant.
+    fn refill_arrivals(&mut self, queue: &mut EventQueue<FleetEvent>) {
+        debug_assert!(self.arrival_scratch.is_empty());
+        while self.arrival_scratch.len() < ARRIVAL_BURST {
+            match self.stream.next() {
+                Some((t, global)) => {
+                    let slot = self.slot_of[global as usize];
+                    self.arrival_scratch.push((t, FleetEvent::Arrive(slot)));
+                }
+                None => break,
+            }
+        }
+        self.outstanding_arrivals = self.arrival_scratch.len() as u32;
+        if !self.arrival_scratch.is_empty() {
+            queue.schedule_many(self.arrival_scratch.drain(..));
+        }
+    }
     fn with_platform<R>(
         &mut self,
         queue: &mut EventQueue<FleetEvent>,
@@ -826,6 +1020,12 @@ impl FleetSystem<'_> {
     }
 
     fn drain(&mut self, slot: usize) {
+        // Most events complete nothing (arrivals, deliveries, reclaim
+        // checks), so probe before paying for scope guards and the
+        // buffer hand-off.
+        if !self.apps[slot].platform.has_responses() {
+            return;
+        }
         {
             let _region = RegionGuard::enter(Region::Platform);
             let _p = ProfGuard::enter(self.apps[slot].platform.prof_label());
@@ -921,10 +1121,12 @@ impl System for FleetSystem<'_> {
                 let s = slot as usize;
                 self.apps[s].submitted += 1;
                 queue.schedule_at(at + self.apps[s].net_in, FleetEvent::Deliver(slot));
-                // Pull exactly one successor from the merge: arrival-side
-                // memory stays O(apps), independent of the request count.
-                if let Some((t, global)) = self.stream.next() {
-                    queue.schedule_at(t, FleetEvent::Arrive(global / self.cells));
+                // When the burst drains, pull the next one: arrival-side
+                // memory stays O(apps + burst), independent of the
+                // request count.
+                self.outstanding_arrivals -= 1;
+                if self.outstanding_arrivals == 0 {
+                    self.refill_arrivals(queue);
                 }
             }
             FleetEvent::Deliver(slot) => {
@@ -1009,6 +1211,92 @@ mod tests {
     }
 
     #[test]
+    fn empty_fleet_is_a_typed_error_not_a_panic() {
+        // Scenario resolution rejects zero-app sources, but FleetPlan is
+        // an open struct: a caller can hand the runner an empty plan
+        // directly. The runner must refuse it with the typed error
+        // instead of reporting a vacuous 100 % success.
+        let plan = FleetPlan {
+            spec: slsb_workload::FleetSpec {
+                name: "empty".into(),
+                duration: SimDuration::from_secs(60),
+                apps: vec![],
+            },
+            deployments: vec![],
+            timeout: SimDuration::from_secs(60),
+            warnings: vec![],
+        };
+        let err = FleetRunner::default().run(&plan, Seed(1)).unwrap_err();
+        assert!(matches!(err, FleetRunError::EmptyFleet), "{err}");
+        assert!(err.to_string().contains("no apps"));
+        let mut rec = MemoryRecorder::new();
+        let err = FleetRunner::default()
+            .run_recorded(&plan, Seed(1), &mut rec)
+            .unwrap_err();
+        assert!(matches!(err, FleetRunError::EmptyFleet), "{err}");
+    }
+
+    #[test]
+    fn partition_covers_every_app_exactly_once() {
+        let plan = scenario(100, 40.0, 200.0).resolve(None).expect("resolve");
+        let part = FleetPartition::compute(&plan, FLEET_CELLS);
+        assert_eq!(part.cells.len(), FLEET_CELLS);
+        let mut seen = vec![0u32; 100];
+        for cell in &part.cells {
+            // Slot order within a cell is ascending global index — the
+            // contract the stitch step relies on.
+            assert!(cell.windows(2).all(|w| w[0] < w[1]));
+            for &g in cell {
+                seen[g as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn partition_balances_zipf_weight() {
+        // Under Zipf(1.1) popularity the old `app % cells` rule left the
+        // head app's cell with ~head + tail/cells of the weight. LPT must
+        // keep the heaviest cell within 2× the mean unless a single
+        // indivisible head app already exceeds that (then the head cell
+        // must hold exactly that app and nothing else).
+        let plan = scenario(200, 100.0, 300.0).resolve(None).expect("resolve");
+        let part = FleetPartition::compute(&plan, FLEET_CELLS);
+        let b = part.balance();
+        assert!(b.mean_cell > 0.0);
+        assert!(
+            b.is_balanced(),
+            "max cell {} vs mean {} (max app {}) exceeds the balance gate",
+            b.max_cell,
+            b.mean_cell,
+            b.max_app
+        );
+        // The modulo partition would fail this gate: its head cell holds
+        // the head app plus a 1/cells share of the tail.
+        let modulo_head: f64 = plan
+            .spec
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % FLEET_CELLS == 0)
+            .map(|(_, a)| a.process.expected_requests(plan.spec.duration) + 1.0)
+            .sum();
+        assert!(
+            modulo_head > b.max_cell,
+            "modulo head cell {modulo_head} should be heavier than LPT max {}",
+            b.max_cell
+        );
+    }
+
+    #[test]
+    fn partition_is_a_pure_function_of_the_plan() {
+        let plan = scenario(60, 30.0, 180.0).resolve(None).expect("resolve");
+        let a = FleetPartition::compute(&plan, FLEET_CELLS);
+        let b = FleetPartition::compute(&plan, FLEET_CELLS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn fleet_scenario_json_roundtrip() {
         let sc = scenario(40, 20.0, 120.0);
         let parsed = FleetScenario::from_json(&sc.to_json()).expect("roundtrip");
@@ -1017,21 +1305,38 @@ mod tests {
 
     #[test]
     fn fleet_run_is_identical_across_worker_budgets() {
-        let plan = scenario(40, 25.0, 150.0).resolve(None).expect("resolve");
-        let seed = Seed(11);
-        let one = FleetRunner::default().run(&plan, seed).expect("run");
-        let four = FleetRunner::default()
-            .with_workers(4)
-            .run(&plan, seed)
-            .expect("run");
-        assert!(one.requests > 0, "fleet produced no requests");
-        assert_eq!(
-            serde_json::to_string(&one.apps).unwrap(),
-            serde_json::to_string(&four.apps).unwrap()
-        );
-        assert_eq!(one.requests, four.requests);
-        assert_eq!(one.engine_events, four.engine_events);
-        assert_eq!(format!("{:?}", one.platform), format!("{:?}", four.platform));
+        // Plan-purity property over the whole worker-budget axis: the
+        // partition is a function of the plan alone, so every budget in
+        // 1/2/4/8 must produce byte-identical per-app results, counters,
+        // platform rollups, and metrics snapshots. Two plan shapes so a
+        // cells-vs-apps boundary (apps < FLEET_CELLS) is covered too.
+        for (apps, rate, duration, seed) in [(40, 25.0, 150.0, 11), (9, 12.0, 90.0, 23)] {
+            let plan = scenario(apps, rate, duration).resolve(None).expect("resolve");
+            let seed = Seed(seed);
+            let one = FleetRunner::default().run(&plan, seed).expect("run");
+            assert!(one.requests > 0, "fleet produced no requests");
+            let one_apps = serde_json::to_string(&one.apps).unwrap();
+            let one_metrics = serde_json::to_string(&fleet_metrics(&one)).unwrap();
+            for workers in [2, 4, 8] {
+                let n = FleetRunner::default()
+                    .with_workers(workers)
+                    .run(&plan, seed)
+                    .expect("run");
+                assert_eq!(one_apps, serde_json::to_string(&n.apps).unwrap(), "workers={workers}");
+                assert_eq!(one.requests, n.requests, "workers={workers}");
+                assert_eq!(one.engine_events, n.engine_events, "workers={workers}");
+                assert_eq!(
+                    format!("{:?}", one.platform),
+                    format!("{:?}", n.platform),
+                    "workers={workers}"
+                );
+                assert_eq!(
+                    one_metrics,
+                    serde_json::to_string(&fleet_metrics(&n)).unwrap(),
+                    "workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1039,19 +1344,23 @@ mod tests {
         let plan = scenario(24, 15.0, 90.0).resolve(None).expect("resolve");
         let seed = Seed(3);
         let mut rec1 = MemoryRecorder::new();
-        let mut rec4 = MemoryRecorder::new();
         FleetRunner::default()
             .run_recorded(&plan, seed, &mut rec1)
             .expect("run");
-        FleetRunner::default()
-            .with_workers(4)
-            .run_recorded(&plan, seed, &mut rec4)
-            .expect("run");
         assert!(!rec1.events().is_empty());
-        assert_eq!(
-            serde_json::to_string(&rec1.events().to_vec()).unwrap(),
-            serde_json::to_string(&rec4.events().to_vec()).unwrap()
-        );
+        let baseline = serde_json::to_string(&rec1.events().to_vec()).unwrap();
+        for workers in [2, 4, 8] {
+            let mut rec4 = MemoryRecorder::new();
+            FleetRunner::default()
+                .with_workers(workers)
+                .run_recorded(&plan, seed, &mut rec4)
+                .expect("run");
+            assert_eq!(
+                baseline,
+                serde_json::to_string(&rec4.events().to_vec()).unwrap(),
+                "workers={workers}"
+            );
+        }
         let closes = rec1
             .events()
             .iter()

@@ -273,7 +273,7 @@ mod tests {
             RuntimeKind::Ort14,
         );
         let plain = Executor::default().run(&dep, &trace, Seed(5)).unwrap();
-        let dep_pc = dep.clone().with_provisioned_concurrency(4);
+        let dep_pc = dep.with_provisioned_concurrency(4);
         let warm = Executor::default().run(&dep_pc, &trace, Seed(5)).unwrap();
         let b_plain = oracle_bound(&plain);
         let b_warm = oracle_bound(&warm);

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 /// (nearest-rank, reporting the bucket's upper bound) — so memory is
 /// constant no matter how many samples stream through, at the price of a
 /// bounded relative error set by the sub-bucket width.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LogLinearHistogram {
     min_exp: i32,
     decades: u32,
@@ -23,6 +23,28 @@ pub struct LogLinearHistogram {
     overflow: u64,
     count: u64,
     sum: f64,
+    /// Decade lower bounds `10^(min_exp + d)` for `d = 0..=decades`: the
+    /// record fast path's lookup table, replacing a `log10`+`powi` pair
+    /// per sample with a binary-exponent guess and one table compare.
+    /// Derived from the layout fields, skipped by serde (rebuilt on the
+    /// first record after deserialization) and excluded from equality.
+    #[serde(skip)]
+    bounds: Vec<f64>,
+}
+
+impl PartialEq for LogLinearHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        // `bounds` is a cache of the layout fields; two histograms with
+        // equal layouts are equal regardless of whether it is built yet.
+        self.min_exp == other.min_exp
+            && self.decades == other.decades
+            && self.sub == other.sub
+            && self.buckets == other.buckets
+            && self.underflow == other.underflow
+            && self.overflow == other.overflow
+            && self.count == other.count
+            && self.sum == other.sum
+    }
 }
 
 impl Default for LogLinearHistogram {
@@ -50,7 +72,12 @@ impl LogLinearHistogram {
             overflow: 0,
             count: 0,
             sum: 0.0,
+            bounds: Self::build_bounds(min_exp, decades),
         }
+    }
+
+    fn build_bounds(min_exp: i32, decades: u32) -> Vec<f64> {
+        (0..=decades as i32).map(|d| 10f64.powi(min_exp + d)).collect()
     }
 
     fn lower_bound(&self) -> f64 {
@@ -72,23 +99,44 @@ impl LogLinearHistogram {
     /// Records one sample. Non-finite samples are ignored; values below
     /// the range land in the underflow bin, values at or above the top in
     /// the overflow bin.
+    ///
+    /// The decade comes from the sample's binary exponent (one multiply
+    /// and shift approximates `log10`) corrected against the precomputed
+    /// bound table, not from libm — this runs once per resolved request
+    /// in the fleet hot loop.
     pub fn record(&mut self, v: f64) {
         if !v.is_finite() {
             return;
         }
         self.count += 1;
         self.sum += v;
-        if v < self.lower_bound() {
+        if self.bounds.is_empty() {
+            // Deserialized histograms arrive without the cache.
+            self.bounds = Self::build_bounds(self.min_exp, self.decades);
+        }
+        let decades = self.decades as usize;
+        if v < self.bounds[0] {
             self.underflow += 1;
             return;
         }
-        if v >= self.upper_bound() {
+        if v >= self.bounds[decades] {
             self.overflow += 1;
             return;
         }
-        let exp = v.log10().floor() as i32;
-        let d = (exp - self.min_exp).clamp(0, self.decades as i32 - 1) as usize;
-        let base = 10f64.powi(self.min_exp + d as i32);
+        // floor(e·log10 2) via the 1233/4096 approximation seeds the
+        // decade; in-range samples (bounds[0] ≤ v < bounds[decades])
+        // need at most one correction step in practice, and the loops
+        // make any guess error harmless.
+        let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        let guess = ((e * 1233) >> 12) - self.min_exp;
+        let mut d = guess.clamp(0, decades as i32 - 1) as usize;
+        while d > 0 && v < self.bounds[d] {
+            d -= 1;
+        }
+        while v >= self.bounds[d + 1] {
+            d += 1;
+        }
+        let base = self.bounds[d];
         let frac = (v / base - 1.0) / 9.0;
         let s = ((frac * f64::from(self.sub)) as usize).min(self.sub as usize - 1);
         self.buckets[d * self.sub as usize + s] += 1;
@@ -295,6 +343,67 @@ mod tests {
         assert!(p50 <= p99);
         let mean = h.mean().unwrap();
         assert!((mean - 0.5005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_fast_path_matches_reference_bucketing() {
+        // Reference: linear scan over the decade bounds, then the same
+        // sub-bucket arithmetic. Sweeps log-spaced values across the
+        // whole range plus every exact decade bound.
+        let layouts = [(-6i32, 10u32, 16u32), (-3, 4, 8), (0, 2, 4)];
+        for (min_exp, decades, sub) in layouts {
+            let bounds: Vec<f64> = (0..=decades as i32)
+                .map(|d| 10f64.powi(min_exp + d))
+                .collect();
+            let mut values: Vec<f64> = (0..5000)
+                .map(|i| {
+                    let span = decades as f64 + 2.0;
+                    10f64.powf(min_exp as f64 - 1.0 + span * i as f64 / 5000.0)
+                })
+                .collect();
+            values.extend(bounds.iter().copied());
+            values.extend(bounds.iter().map(|b| b * (1.0 - 1e-15)));
+            for v in values {
+                let mut h = LogLinearHistogram::with_range(min_exp, decades, sub);
+                h.record(v);
+                // Reference index.
+                let expect = if v < bounds[0] {
+                    None // underflow
+                } else if v >= bounds[decades as usize] {
+                    Some(usize::MAX) // overflow marker
+                } else {
+                    let d = (0..decades as usize)
+                        .rfind(|&d| v >= bounds[d])
+                        .expect("in range");
+                    let frac = (v / bounds[d] - 1.0) / 9.0;
+                    let s = ((frac * f64::from(sub)) as usize).min(sub as usize - 1);
+                    Some(d * sub as usize + s)
+                };
+                match expect {
+                    None => assert_eq!(h.underflow, 1, "underflow for {v}"),
+                    Some(usize::MAX) => assert_eq!(h.overflow, 1, "overflow for {v}"),
+                    Some(idx) => assert_eq!(
+                        h.buckets.iter().position(|&n| n == 1),
+                        Some(idx),
+                        "bucket for {v} (layout {min_exp}/{decades}/{sub})"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deserialized_histogram_keeps_recording_correctly() {
+        let mut h = LogLinearHistogram::default();
+        h.record(0.25);
+        let mut back: LogLinearHistogram =
+            serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+        // The bounds cache is rebuilt on the next record.
+        back.record(0.25);
+        h.record(0.25);
+        assert_eq!(back, h);
+        assert_eq!(back.quantile(50.0), h.quantile(50.0));
     }
 
     #[test]

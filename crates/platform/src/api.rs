@@ -296,6 +296,18 @@ impl Platform {
         }
     }
 
+    /// True when completed responses are waiting to be drained — a
+    /// branch-only probe that lets per-event drain loops skip the scope
+    /// guards and buffer plumbing on the (common) response-free events.
+    pub fn has_responses(&self) -> bool {
+        match self {
+            Platform::Serverless(p) => p.has_responses(),
+            Platform::ManagedMl(p) => p.has_responses(),
+            Platform::Vm(p) => p.has_responses(),
+            Platform::Hybrid(p) => p.has_responses(),
+        }
+    }
+
     /// Closes billing at the end of the run.
     pub fn finalize(&mut self, now: SimTime) {
         match self {

@@ -170,6 +170,11 @@ impl HybridPlatform {
         self.serverless.drain_responses_into(out);
     }
 
+    /// True when either child has responses waiting to be drained.
+    pub fn has_responses(&self) -> bool {
+        self.vm.has_responses() || self.serverless.has_responses()
+    }
+
     /// Closes billing on both children.
     pub fn finalize(&mut self, now: SimTime) {
         self.vm.finalize(now);

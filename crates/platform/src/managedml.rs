@@ -529,6 +529,11 @@ impl ManagedMlPlatform {
         out.append(&mut self.responses);
     }
 
+    /// True when completed responses are waiting to be drained.
+    pub fn has_responses(&self) -> bool {
+        !self.responses.is_empty()
+    }
+
     /// Closes billing at the end of the run.
     pub fn finalize(&mut self, now: SimTime) {
         assert!(!self.finalized, "finalize called twice");

@@ -273,6 +273,16 @@ struct Instance {
     /// its pending reclaim check compares against this, so an adaptive
     /// policy can't retroactively shorten a window already granted.
     idle_window: SimDuration,
+    /// Fire time of this instance's one *current* pending
+    /// [`ServerlessEvent::ReclaimCheck`], or [`SimTime::MAX`] when none is
+    /// outstanding. Reclaim checks are coalesced: instead of scheduling a
+    /// check per idle transition (one per request under warm reuse, each
+    /// landing minutes out in the kernel's far overflow), the platform keeps
+    /// at most one live check and lets it re-arm itself at the current
+    /// expiry. A firing check whose time differs from this field is stale
+    /// and ignored, which is what makes reclaim instants exactly match the
+    /// uncoalesced schedule even when an adaptive policy shrinks windows.
+    check_at: SimTime,
 }
 
 /// The simulated serverless platform.
@@ -397,6 +407,7 @@ impl ServerlessPlatform {
                     last_used: sched.now(),
                     served: 0,
                     idle_window: self.cfg.params.keep_alive,
+                    check_at: SimTime::MAX,
                 },
             );
             self.idle_provisioned.push(id);
@@ -493,6 +504,11 @@ impl ServerlessPlatform {
     /// capacity for the next burst.
     pub fn drain_responses_into(&mut self, out: &mut Vec<ServingResponse>) {
         out.append(&mut self.responses);
+    }
+
+    /// True when completed responses are waiting to be drained.
+    pub fn has_responses(&self) -> bool {
+        !self.responses.is_empty()
     }
 
     /// Closes billing at the end of the run.
@@ -693,6 +709,7 @@ impl ServerlessPlatform {
                 last_used: sched.now(),
                 served: 0,
                 idle_window: self.cfg.params.keep_alive,
+                check_at: SimTime::MAX,
             },
         );
         self.gauge.record_delta(sched.now(), 1);
@@ -881,36 +898,58 @@ impl ServerlessPlatform {
             return;
         }
         if provisioned {
+            // Provisioned capacity is never reclaimed, so it gets no check.
             self.idle_provisioned.push(id);
-        } else {
-            self.idle.push(id);
+            return;
         }
+        self.idle.push(id);
         let window = self.keep_alive.window(self.cfg.params.keep_alive);
-        self.instances
-            .get_mut(id)
-            .expect("idle instance exists")
-            .idle_window = window;
-        sched.schedule(
-            window,
-            PlatformEvent::Serverless(ServerlessEvent::ReclaimCheck(id)),
-        );
+        let expiry = now + window;
+        let inst = self.instances.get_mut(id).expect("idle instance exists");
+        inst.idle_window = window;
+        // Re-arm only when no current check covers the new expiry. Under
+        // warm reuse the outstanding check already fires at or before
+        // `expiry` and will re-arm itself, so the common case schedules
+        // nothing — that check would land `window` (minutes) out, in the
+        // timer wheel's far overflow, once per request.
+        if inst.check_at > expiry {
+            inst.check_at = expiry;
+            sched.schedule(
+                window,
+                PlatformEvent::Serverless(ServerlessEvent::ReclaimCheck(id)),
+            );
+        }
     }
 
     fn on_reclaim_check(&mut self, sched: &mut PlatformScheduler<'_>, id: u64) {
-        let Some(inst) = self.instances.get(id) else {
+        let now = sched.now();
+        let Some(inst) = self.instances.get_mut(id) else {
             return; // already reclaimed
         };
+        if now != inst.check_at {
+            return; // stale: a newer check owns this instance
+        }
+        inst.check_at = SimTime::MAX;
         if inst.provisioned || !matches!(inst.state, InstanceState::Idle) {
+            // Busy or starting: the next idle transition re-arms.
             return;
         }
-        if sched.now().saturating_duration_since(inst.last_used) >= inst.idle_window {
+        let expiry = inst.last_used + inst.idle_window;
+        if now >= expiry {
             self.instances.remove(id);
             self.idle.retain(|&i| i != id);
-            self.gauge.record_delta(sched.now(), -1);
+            self.gauge.record_delta(now, -1);
             sched.emit(|| EventKind::InstanceReclaim {
                 component: COMPONENT,
                 instance: id,
             });
+        } else {
+            // Reused since this check was armed: chase the current expiry.
+            inst.check_at = expiry;
+            sched.schedule(
+                expiry.saturating_duration_since(now),
+                PlatformEvent::Serverless(ServerlessEvent::ReclaimCheck(id)),
+            );
         }
     }
 }

@@ -7,12 +7,24 @@
 //! for meaningful A/B comparisons between platform configurations.
 //!
 //! The generator is a self-contained xoshiro256++ (seeded by SplitMix64
-//! expansion) with inverse-transform exponential and Box–Muller normal
-//! samplers, so the crate has no external RNG dependency and every draw is
+//! expansion) with ziggurat exponential and normal samplers on the hot
+//! path, so the crate has no external RNG dependency and every draw is
 //! a pure function of the seed — the property the parallel run harness
 //! relies on for bit-identical results regardless of thread count.
+//!
+//! The ziggurat samplers (Marsaglia & Tsang, 256 layers) accept ~98–99 %
+//! of draws with one `u64`, two table loads, a multiply, and a compare —
+//! no `ln`/`sqrt`/`cos` — which is what lifts fleet throughput past the
+//! libm-bound Box–Muller/inverse-transform path. The legacy samplers are
+//! kept as `*_reference` differential oracles (the `Kernel::Heap`
+//! precedent): statistical tests pin the fast path against them. Note the
+//! ziggurat consumes a *variable* number of raw draws per sample
+//! (rejection), so the stream position now depends on the values drawn;
+//! determinism is unaffected because every draw remains a pure function
+//! of the substream seed.
 
 use crate::time::SimDuration;
+use std::sync::OnceLock;
 
 /// An experiment seed from which component substreams are derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,6 +78,68 @@ fn splitmix64_mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Layers in each ziggurat (the classic 256-layer construction; accept
+/// probability on the single-compare fast path is ~98–99 %).
+const ZIG_LAYERS: usize = 256;
+/// Rightmost layer edge of the normal ziggurat (Marsaglia & Tsang).
+const ZIG_NORM_R: f64 = 3.654_152_885_361_009;
+/// Per-layer area of the normal ziggurat for the unnormalized pdf
+/// `exp(-x²/2)` (base strip rectangle + tail share the same area).
+const ZIG_NORM_V: f64 = 4.928_673_233_992_336e-3;
+/// Rightmost layer edge of the exponential ziggurat.
+const ZIG_EXP_R: f64 = 7.697_117_470_131_487;
+/// Per-layer area of the exponential ziggurat for `exp(-x)`.
+const ZIG_EXP_V: f64 = 3.949_659_822_581_557e-3;
+
+/// Precomputed ziggurat layer edges `x[i]` (strictly decreasing,
+/// `x[LAYERS] = 0`) and pdf values `f[i] = pdf(x[i])`.
+struct ZigTable {
+    x: [f64; ZIG_LAYERS + 1],
+    f: [f64; ZIG_LAYERS + 1],
+}
+
+/// Builds a ziggurat table from the published `(r, v)` constants and the
+/// (unnormalized, monotone-decreasing) pdf with its inverse. Purely a
+/// function of math constants, so lazily initializing it never threatens
+/// determinism.
+fn build_zig_table(r: f64, v: f64, pdf: fn(f64) -> f64, pdf_inv: fn(f64) -> f64) -> ZigTable {
+    let mut x = [0.0; ZIG_LAYERS + 1];
+    let mut f = [0.0; ZIG_LAYERS + 1];
+    // The base strip (layer 0) is a rectangle of area v whose width
+    // overshoots r; the overshoot region maps onto the tail.
+    x[0] = v / pdf(r);
+    x[1] = r;
+    for i in 2..ZIG_LAYERS {
+        // Equal-area recurrence: v = x[i-1]·(pdf(x[i]) − pdf(x[i-1])).
+        // Clamp guards the last few layers against f64 rounding pushing
+        // the argument of the inverse pdf above 1.
+        let y = (v / x[i - 1] + pdf(x[i - 1])).min(1.0);
+        x[i] = pdf_inv(y);
+    }
+    x[ZIG_LAYERS] = 0.0;
+    for i in 0..=ZIG_LAYERS {
+        f[i] = pdf(x[i]);
+    }
+    ZigTable { x, f }
+}
+
+fn zig_norm_table() -> &'static ZigTable {
+    static T: OnceLock<ZigTable> = OnceLock::new();
+    T.get_or_init(|| {
+        build_zig_table(
+            ZIG_NORM_R,
+            ZIG_NORM_V,
+            |x| (-0.5 * x * x).exp(),
+            |y| (-2.0 * y.ln()).sqrt(),
+        )
+    })
+}
+
+fn zig_exp_table() -> &'static ZigTable {
+    static T: OnceLock<ZigTable> = OnceLock::new();
+    T.get_or_init(|| build_zig_table(ZIG_EXP_R, ZIG_EXP_V, |x| (-x).exp(), |y| -y.ln()))
+}
+
 /// Seeded random source with samplers for the distributions the simulators
 /// use. Internally a xoshiro256++ generator.
 #[derive(Debug, Clone)]
@@ -112,6 +186,46 @@ impl SimRng {
         self.uniform() < p.clamp(0.0, 1.0)
     }
 
+    /// Uniform draw in `(0, 1]` (safe to take the log of).
+    fn nonzero_uniform(&mut self) -> f64 {
+        1.0 - self.uniform()
+    }
+
+    /// Standard exponential draw (mean 1) via the 256-layer ziggurat:
+    /// ~98 % of draws cost one `u64`, two table loads, and one compare.
+    /// Pinned statistically against [`Self::standard_exp_reference`].
+    pub fn standard_exp(&mut self) -> f64 {
+        let t = zig_exp_table();
+        loop {
+            let bits = self.next_u64();
+            // Low 8 bits pick the layer; bits 11.. form the 53-bit uniform
+            // (disjoint bit ranges, so layer and position are independent
+            // enough for every published use of this construction).
+            let i = (bits & 0xff) as usize;
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = u * t.x[i];
+            if x < t.x[i + 1] {
+                return x;
+            }
+            if i == 0 {
+                // Base strip overshoot: the exponential tail beyond r is
+                // itself exponential (memorylessness).
+                return ZIG_EXP_R - self.nonzero_uniform().ln();
+            }
+            // Wedge: accept under the true pdf.
+            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * self.uniform() < (-x).exp() {
+                return x;
+            }
+        }
+    }
+
+    /// Standard exponential draw via the legacy inverse transform
+    /// (`-ln(1-U)`): one `ln` per draw. Kept as the differential oracle
+    /// for [`Self::standard_exp`].
+    pub fn standard_exp_reference(&mut self) -> f64 {
+        -self.nonzero_uniform().ln()
+    }
+
     /// Exponential inter-arrival sample with the given rate (events/sec).
     ///
     /// # Panics
@@ -121,10 +235,7 @@ impl SimRng {
             rate_per_sec.is_finite() && rate_per_sec > 0.0,
             "invalid rate: {rate_per_sec}"
         );
-        // Inverse transform: -ln(1 - U) / λ, with 1 - U > 0 guaranteed
-        // because uniform() < 1.
-        let u = self.uniform();
-        SimDuration::from_secs_f64(-(1.0 - u).ln() / rate_per_sec)
+        SimDuration::from_secs_f64(self.standard_exp() / rate_per_sec)
     }
 
     /// Exponential sample with the given mean.
@@ -136,10 +247,47 @@ impl SimRng {
         self.exp_interval(1.0 / m)
     }
 
-    /// Standard normal draw (Box–Muller; the second variate is discarded so
-    /// each call consumes exactly two uniforms — stream position never
-    /// depends on call history).
-    fn standard_normal(&mut self) -> f64 {
+    /// Standard normal draw via the symmetric 256-layer ziggurat: ~99 %
+    /// of draws cost one `u64`, two table loads, and one compare — no
+    /// `ln`/`sqrt`/`cos`. Pinned statistically against
+    /// [`Self::standard_normal_reference`].
+    pub fn standard_normal(&mut self) -> f64 {
+        let t = zig_norm_table();
+        loop {
+            let bits = self.next_u64();
+            let i = (bits & 0xff) as usize;
+            // 53-bit uniform mapped onto [-1, 1); sign comes for free.
+            let u = 2.0 * ((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) - 1.0;
+            let x = u * t.x[i];
+            if x.abs() < t.x[i + 1] {
+                return x;
+            }
+            if i == 0 {
+                // Base strip overshoot: Marsaglia's exact tail method for
+                // the region beyond ±r.
+                loop {
+                    let x = self.nonzero_uniform().ln() / ZIG_NORM_R; // ≤ 0
+                    let y = self.nonzero_uniform().ln(); // ≤ 0
+                    if -2.0 * y >= x * x {
+                        return if u < 0.0 {
+                            x - ZIG_NORM_R
+                        } else {
+                            ZIG_NORM_R - x
+                        };
+                    }
+                }
+            }
+            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * self.uniform() < (-0.5 * x * x).exp() {
+                return x;
+            }
+        }
+    }
+
+    /// Standard normal draw via the legacy Box–Muller transform (the
+    /// second variate is discarded so each call consumes exactly two
+    /// uniforms). Kept as the differential oracle for
+    /// [`Self::standard_normal`].
+    pub fn standard_normal_reference(&mut self) -> f64 {
         let u1 = loop {
             let u = self.uniform();
             if u > 0.0 {
@@ -292,6 +440,130 @@ mod tests {
             let d = rng.uniform_duration(lo, hi);
             assert!(d >= lo && d <= hi);
         }
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic: max gap between the
+    /// empirical CDFs. Inputs are sorted in place.
+    fn ks_statistic(a: &mut [f64], b: &mut [f64]) -> f64 {
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+            d = d.max(gap);
+        }
+        d
+    }
+
+    #[test]
+    fn ziggurat_tables_are_well_formed() {
+        for t in [super::zig_norm_table(), super::zig_exp_table()] {
+            // Strictly decreasing edges down to zero, pdf values rising
+            // to pdf(0) = 1: the invariants the accept tests rely on.
+            for i in 0..super::ZIG_LAYERS {
+                assert!(t.x[i] > t.x[i + 1], "x not decreasing at {i}");
+                assert!(t.f[i] < t.f[i + 1] + 1e-12, "f not increasing at {i}");
+            }
+            assert_eq!(t.x[super::ZIG_LAYERS], 0.0);
+            assert!((t.f[super::ZIG_LAYERS] - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(super::zig_norm_table().x[1], super::ZIG_NORM_R);
+        assert_eq!(super::zig_exp_table().x[1], super::ZIG_EXP_R);
+    }
+
+    #[test]
+    fn ziggurat_normal_matches_reference_moments() {
+        let mut rng = Seed(101).rng();
+        let n = 200_000;
+        let (mut sum, mut sum2, mut sum3) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.standard_normal();
+            sum += z;
+            sum2 += z * z;
+            sum3 += z * z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let skew = sum3 / n as f64;
+        // 3σ bounds for N draws of a standard normal: mean ±3/√n,
+        // variance ±3·√(2/n), third moment ±3·√(15/n).
+        assert!(mean.abs() < 3.0 / (n as f64).sqrt(), "mean {mean}");
+        assert!((var - 1.0).abs() < 3.0 * (2.0 / n as f64).sqrt(), "var {var}");
+        assert!(skew.abs() < 3.0 * (15.0 / n as f64).sqrt(), "skew {skew}");
+    }
+
+    #[test]
+    fn ziggurat_exp_matches_reference_moments() {
+        let mut rng = Seed(103).rng();
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let e = rng.standard_exp();
+            assert!(e >= 0.0);
+            sum += e;
+            sum2 += e * e;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        // Exp(1): mean 1 (σ²=1), variance 1 (var of X² terms ⇒ wide σ).
+        assert!((mean - 1.0).abs() < 3.0 / (n as f64).sqrt(), "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn ziggurat_normal_ks_close_to_reference() {
+        // Differential pin: the fast path and the legacy oracle must draw
+        // from the same distribution. Deterministic seeds make the KS
+        // statistic reproducible; 0.02 is the α≈0.001 critical value at
+        // this sample size.
+        let n = 20_000;
+        let mut a: Vec<f64> = {
+            let mut r = Seed(201).rng();
+            (0..n).map(|_| r.standard_normal()).collect()
+        };
+        let mut b: Vec<f64> = {
+            let mut r = Seed(202).rng();
+            (0..n).map(|_| r.standard_normal_reference()).collect()
+        };
+        let d = ks_statistic(&mut a, &mut b);
+        assert!(d < 0.02, "normal KS statistic {d}");
+    }
+
+    #[test]
+    fn ziggurat_exp_ks_close_to_reference() {
+        let n = 20_000;
+        let mut a: Vec<f64> = {
+            let mut r = Seed(203).rng();
+            (0..n).map(|_| r.standard_exp()).collect()
+        };
+        let mut b: Vec<f64> = {
+            let mut r = Seed(204).rng();
+            (0..n).map(|_| r.standard_exp_reference()).collect()
+        };
+        let d = ks_statistic(&mut a, &mut b);
+        assert!(d < 0.02, "exp KS statistic {d}");
+    }
+
+    #[test]
+    fn ziggurat_tail_region_is_reachable() {
+        // The |z| > r tail fires with probability ~2.6e-4 per draw; a
+        // large fixed-seed sweep must hit it (exercising the Marsaglia
+        // tail branch) and never exceed plausible magnitudes.
+        let mut rng = Seed(205).rng();
+        let mut tail = 0u32;
+        for _ in 0..500_000 {
+            let z = rng.standard_normal();
+            assert!(z.abs() < 7.0, "implausible normal draw {z}");
+            if z.abs() > super::ZIG_NORM_R {
+                tail += 1;
+            }
+        }
+        assert!(tail > 20, "tail hits {tail}");
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! the common case O(1) amortized:
 //!
 //! - **Near ring**: one block of [`BUCKETS`] buckets, each
-//!   2^[`BUCKET_SHIFT`] µs wide (1.024 ms), covering ~4.19 s ahead of the
+//!   2^[`BUCKET_SHIFT`] µs wide (4.096 ms), covering ~4.19 s ahead of the
 //!   drain cursor. Scheduling is an index computation plus a `Vec::push`.
+//!   The ring is deliberately shallow (1024 buckets ≈ 24 KB of `Vec`
+//!   headers) so the randomly-indexed bucket metadata stays cache-resident;
+//!   bucket width never affects delivery order, which is always the full
+//!   `(time, sequence)` sort within a drained bucket.
 //! - **Far overflow**: events beyond the current block land in a
 //!   `BTreeMap` keyed by block index; whole blocks are pulled forward and
 //!   scattered into the ring when the cursor reaches them.
@@ -30,10 +34,10 @@ use std::cmp;
 use std::collections::BTreeMap;
 use std::mem;
 
-/// log2 of the bucket width in microseconds (1.024 ms per bucket).
-pub(crate) const BUCKET_SHIFT: u32 = 10;
+/// log2 of the bucket width in microseconds (4.096 ms per bucket).
+pub(crate) const BUCKET_SHIFT: u32 = 12;
 /// log2 of the bucket count per block.
-const BLOCK_BITS: u32 = 12;
+const BLOCK_BITS: u32 = 10;
 /// Buckets per block; one block spans ~4.19 s.
 pub(crate) const BUCKETS: usize = 1 << BLOCK_BITS;
 const SLOT_MASK: u64 = (BUCKETS as u64) - 1;

@@ -10,7 +10,9 @@ use slsbench::platform::{FaultPlan, PlatformKind};
 use slsbench::sim::{Seed, SimDuration};
 use slsbench::workload::{MmppPreset, MmppSpec, WorkloadTrace};
 
-const SEED: Seed = Seed(152);
+// The calibrated repro default (see `ReproConfig::default`): its MMPP
+// workloads land within 0.3% of the paper's published request counts.
+const SEED: Seed = Seed(127);
 
 fn scaled(preset: MmppPreset, scale: f64) -> WorkloadTrace {
     let spec = preset.spec();

@@ -60,29 +60,21 @@ for smoke_seed in 7 99; do
 done
 
 # Kernel bench smoke + perf regression gate: the benches must compile, and
-# a quick `slsb bench` must produce a parseable v2 report. Absolute
-# events/sec are machine-dependent, so the gates are ratios that hold on
-# any hardware class: the wheel-vs-heap end-to-end speedup must stay
-# within 0.65x of the committed BENCH_kernel.json baseline's, and the
-# steady-state request path must stay under 2 heap allocations per
-# request (the zero-alloc arena's ceiling).
+# a quick `slsb bench` must produce a parseable v2 report with every
+# expected row present. The *threshold* gates (allocs/request ceiling,
+# per-mode speedup floors, and the third-wave fleet throughput bar of
+# 1.25x the pre-wave committed row) all live in perf::check_against and
+# run through `slsb bench --check`, so verify.sh and the library can
+# never disagree about what counts as a regression.
 cargo bench --no-run -p slsb-bench
 benchfile="$(mktemp /tmp/slsb-bench.XXXXXX.json)"
 trap 'rm -f "$tracefile" "$benchfile"' EXIT
-# Quick-mode runs are short, so single-run throughput is noisy (±40% on a
-# busy box); the gate takes the best of three attempts. A real regression
-# fails all three; noise does not. The speedup floor is 0.65 of the
-# committed ratio: quick mode's smaller W40 preset systematically
-# under-measures the wheel's W120 advantage (~0.72 of the full-mode
-# number), so a tighter floor would trip on mode skew, while 0.65 still
-# fails when the wheel drops to heap parity.
-bench_gate() {
-    rm -f "$benchfile"
-    ./target/release/slsb bench --quick --out "$benchfile" >/dev/null
-    python3 - "$benchfile" BENCH_kernel.json <<'EOF'
+# Structural smoke on a quick report: rows present, both kernels, both
+# executor modes, fleet row ran for real.
+./target/release/slsb bench --quick --out "$benchfile" >/dev/null
+python3 - "$benchfile" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-baseline = json.load(open(sys.argv[2]))
 assert r["schema"] == "slsb-bench-kernel/v2", r["schema"]
 rows = r["schedule_pop"] + r["end_to_end"]
 assert rows, "bench report has no measurements"
@@ -92,38 +84,27 @@ kernels = {row["kernel"] for row in rows}
 assert kernels == {"wheel", "heap"}, kernels
 modes = {row["mode"] for row in r["end_to_end"]}
 assert modes == {"sequential", "sharded"}, modes
-# The streaming fleet measurement must be present and have run for real.
 fl = r["fleet"]
 assert fl["events_per_sec"] > 0, fl
 assert fl["requests"] > 0 and fl["apps"] > 0, fl
-# Allocation gate: hardware-independent, so an absolute ceiling is fair.
-apr = r["allocs_per_request"]
-assert apr < 2.0, f"allocs/request regressed: {apr:.2f} >= 2.0"
-# Speedup-ratio gate: quick-run wheel/heap speedup vs the committed
-# baseline's, with slack for quick-mode noise.
-committed = baseline.get("end_to_end_speedup", 0.0)
-measured = r["end_to_end_speedup"]
-if committed > 0:
-    ratio = measured / committed
-    assert ratio >= 0.65, (
-        f"end-to-end speedup regressed: {measured:.2f}x is "
-        f"{ratio:.2f} of the committed {committed:.2f}x (need >= 0.65)")
-print(f"verify.sh: bench gate ok ({len(rows)} rows, "
+print(f"verify.sh: bench structure ok ({len(rows)} rows, "
       f"kernel speedup {r['kernel_speedup']:.2f}x, "
-      f"end-to-end {r['end_to_end_speedup']:.2f}x, "
-      f"{apr:.2f} allocs/request)")
+      f"end-to-end {r['end_to_end_speedup']:.2f}x)")
 EOF
-}
+# Threshold gates via `slsb bench --check` (reads the committed
+# BENCH_kernel.json, never writes). Bench runs are short, so single-run
+# throughput is noisy (±40% on a busy box); the gate takes the best of
+# five attempts — a real regression fails all of them, noise does not.
 bench_ok=0
-for attempt in 1 2 3; do
-    if bench_gate; then
+for attempt in 1 2 3 4 5; do
+    if ./target/release/slsb bench --check; then
         bench_ok=1
         break
     fi
-    echo "verify.sh: bench gate attempt $attempt failed, retrying" >&2
+    echo "verify.sh: bench check attempt $attempt failed, retrying" >&2
 done
 if (( ! bench_ok )); then
-    echo "verify.sh: bench gate failed on all attempts" >&2
+    echo "verify.sh: bench check failed on all attempts" >&2
     exit 1
 fi
 
@@ -187,21 +168,49 @@ small_allocs="$(sed -n 's/^arrival allocs: //p' <<<"$fleet_small_out")"
 big_requests="$(sed -n 's/^requests      : //p' <<<"$fleet_big_out")"
 big_apps="$(sed -n 's/^apps          : //p' <<<"$fleet_big_out")"
 big_allocs="$(sed -n 's/^arrival allocs: //p' <<<"$fleet_big_out")"
+big_balance="$(sed -n 's/^cell balance  : //p' <<<"$fleet_big_out")"
 python3 - "$big_apps" "$small_requests" "$big_requests" "$small_allocs" "$big_allocs" <<'EOF'
 import sys
 apps, small_req, big_req, small_allocs, big_allocs = map(int, sys.argv[1:6])
 assert apps >= 500, f"fleet gate needs >= 500 apps, got {apps}"
 assert big_req >= 1_000_000, f"fleet gate needs >= 1M requests, got {big_req}"
-assert big_req > small_req * 3 // 2, (small_req, big_req)
-# The O(apps) memory claim: the big run sees ~2x the requests, so a
-# request-proportional arrival path would roughly double its allocation
-# count. Flat-with-slack catches that regression on any hardware.
+assert big_req > small_req * 4 // 3, (small_req, big_req)
+# The O(apps) memory claim: the big run sees substantially more requests
+# (half the duration does not mean half the requests for heavy-tailed
+# on/off tenants, but the full run must still be >4/3 the half run), so a
+# request-proportional arrival path would grow its allocation count in
+# step. Flat-with-slack catches that regression on any hardware.
 ceiling = small_allocs * 1.3 + 4096
 assert big_allocs <= ceiling, (
     f"arrival allocs not flat: {big_allocs} at {big_req} requests vs "
     f"{small_allocs} at {small_req} (ceiling {ceiling:.0f})")
 print(f"verify.sh: fleet gate ok ({apps} apps, {big_req} requests, "
       f"arrival allocs {small_allocs} -> {big_allocs})")
+EOF
+
+# Cell-balance gate: the weighted LPT partition must keep the heaviest
+# cell within 2x the mean cell weight on the Zipf fleet — unless a single
+# head app alone outweighs that bound, which no partition can fix (the
+# cell holding it can never weigh less than the app). The run prints the
+# verdict with the same exemption; re-derive it here from the numbers so
+# a formatting change cannot silently weaken the gate.
+python3 - "$big_balance" <<'EOF'
+import re, sys
+line = sys.argv[1]
+m = re.fullmatch(
+    r"(\d+) cells, max ([\d.]+) / mean ([\d.]+) / max-app ([\d.]+) \((\w+)\)",
+    line)
+assert m, f"unparseable cell balance line: {line!r}"
+cells, max_cell, mean_cell, max_app, verdict = m.groups()
+max_cell, mean_cell, max_app = map(float, (max_cell, mean_cell, max_app))
+assert int(cells) > 1, f"fleet smoke should use multiple cells: {line!r}"
+bound = max(2.0 * mean_cell, max_app * (1 + 1e-9))
+assert max_cell <= bound, (
+    f"partition imbalanced: max cell {max_cell:.1f} > bound {bound:.1f} "
+    f"(mean {mean_cell:.1f}, max app {max_app:.1f})")
+assert verdict == "balanced", f"run reports {verdict!r}: {line!r}"
+print(f"verify.sh: cell balance ok ({cells} cells, "
+      f"max {max_cell:.1f} <= bound {bound:.1f}, mean {mean_cell:.1f})")
 EOF
 
 # Fleet determinism: --jobs and --shards are thread budgets only, so the
